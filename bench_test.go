@@ -1,0 +1,165 @@
+package neve
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/bench"
+	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// One benchmark per evaluation table/figure. The interesting output is the
+// custom metrics: simulated cycles per operation (simcyc/op) and traps to
+// the host hypervisor (traps/op), which regenerate the paper's numbers;
+// ns/op measures only the simulator's own speed.
+
+func microConfigs(nested bool) []bench.ConfigID {
+	if nested {
+		return []bench.ConfigID{bench.ARMNested, bench.ARMNestedVHE,
+			bench.NEVENested, bench.NEVENestedVHE, bench.X86Nested}
+	}
+	return bench.AllConfigs()
+}
+
+func benchMicro(b *testing.B, op bench.MicroOp, cfgs []bench.ConfigID) {
+	for _, cfg := range cfgs {
+		b.Run(cfg.String(), func(b *testing.B) {
+			var cycles, traps uint64
+			for i := 0; i < b.N; i++ {
+				cycles, traps = bench.RunMicro(cfg, op)
+			}
+			b.ReportMetric(float64(cycles), "simcyc/op")
+			b.ReportMetric(float64(traps), "traps/op")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: microbenchmark cycle counts on
+// ARMv8.3 and x86, for VMs and nested VMs.
+func BenchmarkTable1(b *testing.B) {
+	for _, op := range bench.MicroOps() {
+		b.Run(op.String(), func(b *testing.B) {
+			benchMicro(b, op, []bench.ConfigID{bench.ARMVM, bench.ARMNested,
+				bench.ARMNestedVHE, bench.X86VM, bench.X86Nested})
+		})
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: microbenchmark cycle counts with
+// NEVE alongside ARMv8.3 and x86.
+func BenchmarkTable6(b *testing.B) {
+	for _, op := range bench.MicroOps() {
+		b.Run(op.String(), func(b *testing.B) {
+			benchMicro(b, op, microConfigs(true))
+		})
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7: average trap counts to the host
+// hypervisor (read the traps/op metric).
+func BenchmarkTable7(b *testing.B) {
+	for _, op := range []bench.MicroOp{bench.Hypercall, bench.DeviceIO, bench.VirtualIPI} {
+		b.Run(op.String(), func(b *testing.B) {
+			benchMicro(b, op, microConfigs(true))
+		})
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: application benchmark overhead
+// normalized to native execution (the overheadX metric).
+func BenchmarkFigure2(b *testing.B) {
+	for _, p := range Profiles() {
+		b.Run(p.Name, func(b *testing.B) {
+			for _, cfg := range bench.AllConfigs() {
+				b.Run(cfg.String(), func(b *testing.B) {
+					var overhead float64
+					for i := 0; i < b.N; i++ {
+						overhead, _ = bench.RunApp(cfg, p)
+					}
+					b.ReportMetric(overhead, "overheadX")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTrapCost reproduces the Section 5 validation experiment: the
+// cost of trapping from EL1 to EL2 for different system register access
+// instructions compared to an hvc instruction — the foundation of the
+// paper's paravirtualization methodology. The spread must be small.
+func BenchmarkTrapCost(b *testing.B) {
+	type probe struct {
+		name string
+		fire func(c *arm.CPU)
+	}
+	probes := []probe{
+		{"hvc", func(c *arm.CPU) { c.HVC(0) }},
+		{"msr-vttbr", func(c *arm.CPU) { c.MSR(arm.VTTBR_EL2, 1) }},
+		{"mrs-esr", func(c *arm.CPU) { _ = c.MRS(arm.ESR_EL2) }},
+		{"msr-hcr", func(c *arm.CPU) { c.MSR(arm.HCR_EL2, 0) }},
+		{"msr-sctlr-el1", func(c *arm.CPU) { c.MSR(arm.SCTLR_EL1, 0) }},
+		{"eret", func(c *arm.CPU) { c.ERET() }},
+	}
+	for _, p := range probes {
+		b.Run(p.name, func(b *testing.B) {
+			c := arm.NewCPU(0, mem.New(0), arm.FeaturesV83())
+			c.Vector = nullHandler{}
+			c.Trace = trace.NewCollector(false)
+			c.SetReg(arm.HCR_EL2, arm.HCRNV|arm.HCRNV1)
+			var cost uint64
+			for i := 0; i < b.N; i++ {
+				c.RunGuest(1, func() {
+					before := c.Cycles()
+					p.fire(c)
+					cost = c.Cycles() - before
+				})
+			}
+			b.ReportMetric(float64(cost), "simcyc/trap")
+		})
+	}
+}
+
+type nullHandler struct{}
+
+func (nullHandler) HandleTrap(c *arm.CPU, e *arm.Exception) uint64 { return 0 }
+
+// BenchmarkShadowStage2Fault measures the host's shadow Stage-2 fault
+// repair path (Section 4, memory virtualization): an ablation target for
+// the collapsed-tables design.
+func BenchmarkShadowStage2Fault(b *testing.B) {
+	s := kvm.NewNestedStack(kvm.StackOptions{})
+	var cost uint64
+	s.RunGuest(0, func(g *kvm.GuestCtx) {
+		for i := 0; i < b.N; i++ {
+			off := uint64(i%512) * mem.PageSize
+			before := g.CPU.Cycles()
+			g.RAMRead64(off)
+			cost += g.CPU.Cycles() - before
+		}
+	})
+	if b.N > 0 {
+		b.ReportMetric(float64(cost)/float64(b.N), "simcyc/op")
+	}
+}
+
+// BenchmarkSimulatorThroughput reports how fast the simulator itself runs
+// nested hypercalls (host-clock performance, not a paper artifact).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	s := kvm.NewNestedStack(kvm.StackOptions{})
+	s.RunGuest(0, func(g *kvm.GuestCtx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Hypercall()
+		}
+	})
+}
+
+// Example of the public API (also a compile-checked quickstart).
+func ExampleRunMicro() {
+	cycles, traps := RunMicro(NEVENested, Hypercall)
+	fmt.Println(traps, cycles > 0)
+	// Output: 15 true
+}

@@ -1,0 +1,142 @@
+// Command nevesim regenerates the paper's evaluation artifacts on the
+// simulated hardware:
+//
+//	nevesim table1    Table 1: microbenchmark cycles, ARMv8.3 vs x86
+//	nevesim table6    Table 6: microbenchmark cycles with NEVE
+//	nevesim table7    Table 7: traps to the host hypervisor
+//	nevesim fig2      Figure 2: application benchmark overhead
+//	nevesim trapcost  Section 5: trap-cost interchangeability validation
+//	nevesim all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/bench"
+	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nevesim [table1|table6|table7|table8|fig2|events|trapcost|ablation|optvhe|recursive|all]")
+	os.Exit(2)
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	switch cmd {
+	case "table1":
+		fmt.Print(bench.FormatTable1(bench.RunAllMicro()))
+	case "table6":
+		fmt.Print(bench.FormatTable6(bench.RunAllMicro()))
+	case "table7":
+		fmt.Print(bench.FormatTable7(bench.RunAllMicro()))
+	case "fig2":
+		fmt.Print(bench.FormatFigure2(bench.RunFigure2()))
+	case "trapcost":
+		trapCost()
+	case "ablation":
+		fmt.Print(bench.FormatAblation(bench.RunAblation(false)))
+	case "optvhe":
+		fmt.Print(bench.FormatOptimizedVHE(bench.RunOptimizedVHE()))
+	case "events":
+		fmt.Print(bench.FormatFigure2Events(bench.RunFigure2Events(
+			[]bench.ConfigID{bench.ARMNested, bench.NEVENested, bench.X86Nested})))
+	case "table8":
+		fmt.Print(bench.FormatTable8())
+	case "recursive":
+		recursive()
+	case "all":
+		micro := bench.RunAllMicro()
+		fmt.Print(bench.FormatTable1(micro))
+		fmt.Println()
+		fmt.Print(bench.FormatTable6(micro))
+		fmt.Println()
+		fmt.Print(bench.FormatTable7(micro))
+		fmt.Println()
+		fmt.Print(bench.FormatFigure2(bench.RunFigure2()))
+		fmt.Println()
+		trapCost()
+		fmt.Println()
+		fmt.Print(bench.FormatAblation(bench.RunAblation(false)))
+		fmt.Println()
+		fmt.Print(bench.FormatOptimizedVHE(bench.RunOptimizedVHE()))
+	default:
+		usage()
+	}
+}
+
+// recursive measures an L3 hypercall (Section 6.2).
+func recursive() {
+	fmt.Println("Recursive virtualization (Section 6.2): one hypercall from an L3 VM")
+	for _, neve := range []bool{false, true} {
+		name := "ARMv8.3"
+		if neve {
+			name = "NEVE"
+		}
+		s := kvm.NewRecursiveStack(kvm.StackOptions{GuestNEVE: neve})
+		var cycles uint64
+		s.RunGuest(0, func(g *kvm.GuestCtx) {
+			g.Hypercall()
+			s.M.Trace.Reset()
+			before := g.CPU.Cycles()
+			g.Hypercall()
+			cycles = g.CPU.Cycles() - before
+		})
+		fmt.Printf("  %-8s %12d cycles  %6d traps\n", name, cycles, s.M.Trace.Total())
+	}
+}
+
+type nullHandler struct{}
+
+func (nullHandler) HandleTrap(c *arm.CPU, e *arm.Exception) uint64 { return 0 }
+
+// trapCost reproduces the Section 5 validation: the trap cost of different
+// system register access instructions compared to hvc (paper: 68-76 cycles
+// in, 65 out, spread below 10%).
+func trapCost() {
+	fmt.Println("Trap-cost validation (Section 5): EL1->EL2 round trips")
+	probes := []struct {
+		name string
+		fire func(c *arm.CPU)
+	}{
+		{"hvc #0", func(c *arm.CPU) { c.HVC(0) }},
+		{"msr VTTBR_EL2", func(c *arm.CPU) { c.MSR(arm.VTTBR_EL2, 1) }},
+		{"mrs ESR_EL2", func(c *arm.CPU) { _ = c.MRS(arm.ESR_EL2) }},
+		{"msr HCR_EL2", func(c *arm.CPU) { c.MSR(arm.HCR_EL2, 0) }},
+		{"msr SCTLR_EL1 (NV1)", func(c *arm.CPU) { c.MSR(arm.SCTLR_EL1, 0) }},
+		{"eret", func(c *arm.CPU) { c.ERET() }},
+	}
+	var min, max uint64
+	for _, p := range probes {
+		c := arm.NewCPU(0, mem.New(0), arm.FeaturesV83())
+		c.Vector = nullHandler{}
+		c.Trace = trace.NewCollector(false)
+		c.SetReg(arm.HCR_EL2, arm.HCRNV|arm.HCRNV1)
+		var cost uint64
+		c.RunGuest(1, func() {
+			before := c.Cycles()
+			p.fire(c)
+			cost = c.Cycles() - before
+		})
+		fmt.Printf("  %-22s %4d cycles (enter %d + return %d)\n",
+			p.name, cost, c.Cost.TrapEnter, c.Cost.TrapReturn)
+		if min == 0 || cost < min {
+			min = cost
+		}
+		if cost > max {
+			max = cost
+		}
+	}
+	spread := float64(max-min) / float64(max) * 100
+	fmt.Printf("  spread: %.1f%% (paper requires < 10%% for paravirtual interchangeability)\n", spread)
+}

@@ -1,0 +1,71 @@
+// Command nevetrace prints the trap-by-trap trace of one microbenchmark
+// operation: the exit multiplication problem made visible (Section 5's
+// "each trap from the nested VM results in a multitude of additional traps
+// from the guest hypervisor to the host hypervisor").
+//
+//	nevetrace [-config v8.3|v8.3-vhe|neve|neve-vhe] [hypercall|deviceio]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nevesim/neve/internal/kvm"
+)
+
+func main() {
+	config := flag.String("config", "v8.3", "stack configuration: v8.3, v8.3-vhe, neve, neve-vhe")
+	flag.Parse()
+	op := "hypercall"
+	if flag.NArg() > 0 {
+		op = flag.Arg(0)
+	}
+
+	opts := kvm.StackOptions{RecordTrace: true}
+	switch *config {
+	case "v8.3":
+	case "v8.3-vhe":
+		opts.GuestVHE = true
+	case "neve":
+		opts.GuestNEVE = true
+	case "neve-vhe":
+		opts.GuestVHE = true
+		opts.GuestNEVE = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+
+	s := kvm.NewNestedStack(opts)
+	s.RunGuest(0, func(g *kvm.GuestCtx) {
+		run := func() {
+			switch op {
+			case "hypercall":
+				g.Hypercall()
+			case "deviceio":
+				g.DeviceRead(0)
+			default:
+				fmt.Fprintf(os.Stderr, "unknown operation %q\n", op)
+				os.Exit(2)
+			}
+		}
+		run() // warm up shadow structures
+		s.M.Trace.Reset()
+		before := g.CPU.Cycles()
+		run()
+		cycles := g.CPU.Cycles() - before
+		fmt.Printf("one nested %s on %s: %d cycles, %d traps to the host hypervisor\n\n",
+			op, *config, cycles, s.M.Trace.Total())
+	})
+
+	fmt.Println("trap-by-trap (level 2 = nested VM, level 1 = guest hypervisor):")
+	for i, ev := range s.M.Trace.Events() {
+		fmt.Printf("  %3d  L%d  %-24s @%d\n", i+1, ev.FromLevel, ev.Detail, ev.Cycle)
+	}
+	fmt.Println()
+	fmt.Print(s.M.Trace.Summary())
+	lv := s.M.CPUs[0].LevelCycles()
+	fmt.Printf("\ncycles by level (whole run): host %d, guest hypervisor %d, nested VM %d\n",
+		lv[0], lv[1], lv[2])
+}

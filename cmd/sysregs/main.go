@@ -1,0 +1,80 @@
+// Command sysregs prints the NEVE register classification: the paper's
+// Tables 2 (VNCR_EL2 fields), 3 (VM system registers), 4 (hypervisor
+// control registers) and 5 (GIC hypervisor control registers), together
+// with each register's deferred-access-page slot.
+//
+//	sysregs [vncr|vm|hyp|gic|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/core"
+)
+
+func main() {
+	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	switch cmd {
+	case "vncr":
+		vncr()
+	case "vm":
+		group(core.ClassVMTrapControl, core.ClassVMExecControl, core.ClassThreadID, core.ClassVMExtra)
+	case "hyp":
+		group(core.ClassHypRedirect, core.ClassHypRedirectVHE, core.ClassHypTrapOnWrite, core.ClassHypRedirectOrTrap)
+	case "gic":
+		group(core.ClassGICHyp)
+	case "all":
+		vncr()
+		fmt.Println()
+		fmt.Println("Table 3: VM System Registers (rewritten to the deferred access page)")
+		group(core.ClassVMTrapControl, core.ClassVMExecControl, core.ClassThreadID, core.ClassVMExtra)
+		fmt.Println()
+		fmt.Println("Table 4: Hypervisor Control Registers")
+		group(core.ClassHypRedirect, core.ClassHypRedirectVHE, core.ClassHypTrapOnWrite, core.ClassHypRedirectOrTrap)
+		fmt.Println()
+		fmt.Println("Table 5: Hypervisor Control GIC Registers")
+		group(core.ClassGICHyp)
+		fmt.Println()
+		fmt.Println("Debug, PMU and timer registers (Section 6.1, closing paragraph)")
+		group(core.ClassDebugPMU, core.ClassTimer)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sysregs [vncr|vm|hyp|gic|all]")
+		os.Exit(2)
+	}
+}
+
+// vncr prints Table 2.
+func vncr() {
+	fmt.Println("Table 2: VNCR_EL2 Register Fields")
+	fmt.Println("  bits[52:12]  BADDR: Deferred Access Page Base Address")
+	fmt.Println("  bits[11:1]   Reserved")
+	fmt.Println("  bit[0]       Enable")
+	fmt.Printf("  deferred access page layout uses %d bytes (one 4 KiB page)\n", core.PageBytes())
+}
+
+func group(classes ...core.Class) {
+	for _, cl := range classes {
+		fmt.Printf("%s:\n", cl)
+		for _, r := range core.Rules() {
+			if r.Class != cl {
+				continue
+			}
+			slot := "-"
+			if r.VNCROffset >= 0 {
+				slot = fmt.Sprintf("+%#03x", r.VNCROffset)
+			}
+			redirect := ""
+			if r.Redirect != arm.RegInvalid {
+				redirect = " -> " + r.Redirect.String()
+			}
+			fmt.Printf("  %-18s %-16s page %-6s%s\n", r.Reg, r.Treatment, slot, redirect)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Nestedboot: run a nested VM under a guest hypervisor and make the exit
+// multiplication problem visible (paper Section 5), then show how NEVE
+// coalesces and defers the traps (Section 6).
+package main
+
+import (
+	"fmt"
+
+	neve "github.com/nevesim/neve"
+)
+
+func measure(name string, opts neve.ARMStackOptions) {
+	s := neve.NewARMNestedStack(opts)
+	var cycles uint64
+	s.RunGuest(0, func(g *neve.GuestCtx) {
+		g.Hypercall() // warm up shadow structures
+		s.M.Trace.Reset()
+		before := g.Cycles()
+		g.Hypercall()
+		cycles = g.Cycles() - before
+	})
+	fmt.Printf("%-22s %8d cycles  %4d traps to the host hypervisor\n",
+		name, cycles, s.M.Trace.Total())
+}
+
+func main() {
+	fmt.Println("nestedboot: one hypercall from a nested VM (L2) — the exit")
+	fmt.Println("multiplication problem and how NEVE solves it")
+	fmt.Println()
+
+	measure("ARMv8.3", neve.ARMStackOptions{})
+	measure("ARMv8.3 + VHE", neve.ARMStackOptions{GuestVHE: true})
+	measure("NEVE", neve.ARMStackOptions{GuestNEVE: true})
+	measure("NEVE + VHE", neve.ARMStackOptions{GuestVHE: true, GuestNEVE: true})
+
+	fmt.Println()
+	fmt.Println("trap-by-trap on ARMv8.3 (first 20 of the guest hypervisor's")
+	fmt.Println("world switch; run `nevetrace` for the full trace):")
+	s := neve.NewARMNestedStack(neve.ARMStackOptions{RecordTrace: true})
+	s.RunGuest(0, func(g *neve.GuestCtx) {
+		g.Hypercall()
+		s.M.Trace.Reset()
+		g.Hypercall()
+	})
+	for i, ev := range s.M.Trace.Events() {
+		if i >= 20 {
+			fmt.Printf("  ... %d more\n", len(s.M.Trace.Events())-20)
+			break
+		}
+		fmt.Printf("  %3d  L%d  %s\n", i+1, ev.FromLevel, ev.Detail)
+	}
+}

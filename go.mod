@@ -1,0 +1,3 @@
+module github.com/nevesim/neve
+
+go 1.22

@@ -1,0 +1,106 @@
+// Package arm models the ARMv8-A privileged architecture as far as it is
+// relevant to nested virtualization: exception levels EL0-EL2, the system
+// register file, the Virtualization Extensions (VE), the Virtualization Host
+// Extensions (VHE, ARMv8.1), and the nested virtualization support added in
+// ARMv8.3 (trapping hypervisor instructions executed at EL1, disguising
+// CurrentEL, ERET interception).
+//
+// The NEVE extension proposed by the paper (adopted as ARMv8.4 NV2) is not
+// implemented here: it plugs in through the NV2Engine hook, implemented by
+// package core, mirroring how the paper layers a proposed extension on top
+// of the shipped architecture.
+//
+// The model is functional and cycle-accounting, not cycle-accurate: each
+// architectural action charges a calibrated cost (see CostModel) so that the
+// relative performance of software paths — the quantity the paper's
+// paravirtualization methodology measures — is reproduced.
+package arm
+
+import "fmt"
+
+// EL is an ARMv8 exception level. EL3 (secure monitor) plays no role in the
+// paper and is not modeled.
+type EL uint8
+
+// Exception levels. EL0 runs user applications, EL1 an OS kernel, EL2 a
+// hypervisor (paper Section 2).
+const (
+	EL0 EL = 0
+	EL1 EL = 1
+	EL2 EL = 2
+)
+
+func (e EL) String() string {
+	if e > EL2 {
+		return fmt.Sprintf("EL?(%d)", uint8(e))
+	}
+	return fmt.Sprintf("EL%d", uint8(e))
+}
+
+// Features describes which architecture revisions a simulated CPU
+// implements. The paper's hardware is v8.0; ARMv8.3 adds nested
+// virtualization (FeatNV); NEVE ships as ARMv8.4 FEAT_NV2 (FeatNV2).
+type Features struct {
+	// VHE is the ARMv8.1 Virtualization Host Extensions: E2H register
+	// redirection and the *_EL12/*_EL02 access instructions.
+	VHE bool
+	// NV is the ARMv8.3 nested virtualization support: EL2 instructions
+	// executed at EL1 trap to EL2, CurrentEL is disguised, ERET traps.
+	NV bool
+	// NV2 is the NEVE extension (ARMv8.4): VNCR_EL2 and transparent
+	// rewriting of system register accesses to memory or EL1 registers.
+	// Requires NV.
+	NV2 bool
+}
+
+// FeaturesV80 is the paper's evaluation hardware (HP Moonshot m400).
+func FeaturesV80() Features { return Features{} }
+
+// FeaturesV81 adds VHE.
+func FeaturesV81() Features { return Features{VHE: true} }
+
+// FeaturesV83 adds ARMv8.3 nested virtualization support.
+func FeaturesV83() Features { return Features{VHE: true, NV: true} }
+
+// FeaturesV84 adds NEVE (FEAT_NV2).
+func FeaturesV84() Features { return Features{VHE: true, NV: true, NV2: true} }
+
+// HCR_EL2 bit assignments (subset). Positions follow the ARM ARM where the
+// bit exists; TEL1 is a modeling abstraction, see its comment.
+const (
+	// HCRVM enables Stage-2 translation for EL1&0.
+	HCRVM uint64 = 1 << 0
+	// HCRFMO/HCRIMO route physical FIQ/IRQ to EL2 and enable virtual
+	// interrupt delivery.
+	HCRFMO uint64 = 1 << 3
+	HCRIMO uint64 = 1 << 4
+	// HCRTSC traps SMC instructions.
+	HCRTSC uint64 = 1 << 19
+	// HCRTGE traps general exceptions; used when running the guest
+	// hypervisor's EL0 processes is not desired. Section 2 explains why
+	// running a guest hypervisor under TGE performs poorly; our hypervisor
+	// model never uses it for nesting.
+	HCRTGE uint64 = 1 << 27
+	// HCRE2H is the VHE "EL2 host" bit: EL1 system register access
+	// instructions executed at EL2 access the EL2 registers instead.
+	HCRE2H uint64 = 1 << 34
+	// HCRNV enables ARMv8.3 nested virtualization: EL2 sysreg accesses and
+	// ERET at EL1 trap to EL2, and CurrentEL reads EL2.
+	HCRNV uint64 = 1 << 42
+	// HCRNV1 abstracts the ARMv8.3 NV1/HSTR/fine-grained mechanisms that
+	// make EL1 system register accesses from EL1 trap to EL2. The host
+	// hypervisor sets it when running a non-VHE guest hypervisor, whose
+	// EL1 accesses refer to its VM's (virtual) EL1 state and must be
+	// emulated (paper Section 4, second kind of paravirtualized
+	// instruction).
+	HCRNV1 uint64 = 1 << 43
+	// HCRNV2 enables NEVE register rewriting (paper Section 6; ARMv8.4
+	// FEAT_NV2). Only meaningful with HCRNV set and an NV2Engine attached.
+	HCRNV2 uint64 = 1 << 45
+)
+
+// VLevel identifies the virtualization level of the software currently
+// executing on a CPU, for tracing only: 0 = host hypervisor, 1 = L1 guest
+// (hypervisor or OS), 2 = L2 nested guest, 3 = L3 guest. It has no
+// architectural effect.
+type VLevel int

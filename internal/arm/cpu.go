@@ -1,0 +1,597 @@
+package arm
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// PhysBus gives the CPU access to memory-mapped devices (GICv2 interface
+// windows, virtio doorbells). Access returns false if no device claims the
+// address, in which case the access goes to RAM.
+type PhysBus interface {
+	Access(c *CPU, pa mem.Addr, write bool, size int, val *uint64) bool
+}
+
+// Stage2 translates guest (intermediate) physical addresses to machine
+// physical addresses using the currently programmed VTTBR_EL2/VTCR_EL2.
+// The MMU model implements it; ok=false is a stage-2 translation fault.
+type Stage2 interface {
+	Translate(c *CPU, ipa mem.Addr, write bool) (pa mem.Addr, ok bool)
+}
+
+// SysRegDevice implements registers with device semantics (generic timers,
+// GIC CPU interface). Handled reports whether the device claims r.
+type SysRegDevice interface {
+	SysRegRead(c *CPU, r SysReg) (v uint64, handled bool)
+	SysRegWrite(c *CPU, r SysReg, v uint64) (handled bool)
+}
+
+// CPU is one simulated ARMv8 core. It is not safe for concurrent use; the
+// machine model steps cores deterministically.
+type CPU struct {
+	ID   int
+	Mem  *mem.Memory
+	Cost *CostModel
+	Feat Features
+
+	// Trace collects trap events; may be nil.
+	Trace *trace.Collector
+
+	// Vector is the EL2 exception vector: the host hypervisor.
+	Vector Handler
+	// NV2 is the NEVE engine (package core); nil models a CPU without
+	// FEAT_NV2 regardless of Feat.NV2.
+	NV2 NV2Engine
+	// Bus claims device physical addresses.
+	Bus PhysBus
+	// S2 is the stage-2 MMU context.
+	S2 Stage2
+	// VIRQ is the IRQ vector of the guest currently scheduled at vEL1.
+	VIRQ VIRQSink
+
+	el         EL
+	level      VLevel
+	guestLevel VLevel
+	regs       [NumSysRegs]uint64
+	cycles     uint64
+
+	// levelCycles attributes elapsed cycles to the virtualization level
+	// that spent them (0 = host hypervisor); lastAttributed marks the
+	// cycle count at the previous attribution point.
+	levelCycles    [8]uint64
+	lastAttributed uint64
+
+	devices []SysRegDevice
+
+	pendingIRQ []int
+	irqMasked  bool
+	inVIRQ     bool
+}
+
+// NewCPU returns a core with the given features, attached to physical
+// memory m, using the default cost model, initially at EL2.
+func NewCPU(id int, m *mem.Memory, feat Features) *CPU {
+	return &CPU{
+		ID:   id,
+		Mem:  m,
+		Cost: DefaultCosts(),
+		Feat: feat,
+		el:   EL2,
+	}
+}
+
+// AddDevice registers a system register device (timer, GIC CPU interface).
+func (c *CPU) AddDevice(d SysRegDevice) { c.devices = append(c.devices, d) }
+
+// Cycles returns the core's cycle counter.
+func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// attribute charges the cycles elapsed since the last attribution point to
+// the level that was running.
+func (c *CPU) attribute(level VLevel) {
+	if level >= 0 && int(level) < len(c.levelCycles) {
+		c.levelCycles[level] += c.cycles - c.lastAttributed
+	}
+	c.lastAttributed = c.cycles
+}
+
+// LevelCycles returns how many cycles each virtualization level has spent
+// on this core (0 = host hypervisor, 1 = guest hypervisor or VM, ...): the
+// breakdown behind the exit multiplication problem.
+func (c *CPU) LevelCycles() []uint64 {
+	c.attribute(c.level)
+	out := make([]uint64, len(c.levelCycles))
+	copy(out, c.levelCycles[:])
+	return out
+}
+
+// ResetLevelCycles clears the per-level attribution.
+func (c *CPU) ResetLevelCycles() {
+	c.levelCycles = [8]uint64{}
+	c.lastAttributed = c.cycles
+}
+
+// AddCycles charges raw cycles (used by device models).
+func (c *CPU) AddCycles(n uint64) { c.cycles += n }
+
+// Work charges n instructions of straight-line work: the modeled software's
+// logic between privileged operations.
+func (c *CPU) Work(n uint64) { c.cycles += n * c.Cost.Insn }
+
+// MemOp charges n cached data memory accesses issued by modeled software
+// (e.g. saving general-purpose registers to a context structure).
+func (c *CPU) MemOp(n uint64) { c.cycles += n * c.Cost.Mem }
+
+// EL returns the physical exception level, which only the model itself and
+// tests may observe. Modeled guest software must use CurrentEL, which is
+// subject to the ARMv8.3 disguise.
+func (c *CPU) EL() EL { return c.el }
+
+// Level returns the virtualization level of the currently running software
+// (0 = host hypervisor), for tracing and tests.
+func (c *CPU) Level() VLevel { return c.level }
+
+// SetGuestLevel records the virtualization level of the guest context the
+// host hypervisor has prepared to run; the trap-return path restores it.
+func (c *CPU) SetGuestLevel(l VLevel) {
+	c.guestLevel = l
+	if c.el != EL2 {
+		c.level = l
+	}
+}
+
+// GuestLevel returns the scheduled guest context's level.
+func (c *CPU) GuestLevel() VLevel { return c.guestLevel }
+
+// Reg reads register storage directly, bypassing traps, devices and cycle
+// accounting. For model plumbing (hypervisor-internal state, devices,
+// the NEVE engine, tests) only — modeled software uses MRS.
+func (c *CPU) Reg(r SysReg) uint64 {
+	eff := r
+	if a := Info(r).Alias; a != RegInvalid {
+		eff = a
+	}
+	return c.regs[eff]
+}
+
+// SetReg writes register storage directly; see Reg.
+func (c *CPU) SetReg(r SysReg, v uint64) {
+	eff := r
+	if a := Info(r).Alias; a != RegInvalid {
+		eff = a
+	}
+	c.regs[eff] = v
+}
+
+// HCR returns the live HCR_EL2 value (trap routing consults it constantly).
+func (c *CPU) HCR() uint64 { return c.regs[HCR_EL2] }
+
+// CurrentEL models reading the CurrentEL special register. Under ARMv8.3
+// nested virtualization the hardware disguises the deprivileged execution by
+// reporting EL2 to a guest hypervisor really running in EL1 (Section 2).
+func (c *CPU) CurrentEL() EL {
+	c.cycles += c.Cost.SysReg
+	if c.el == EL1 && c.regs[HCR_EL2]&HCRNV != 0 && c.Feat.NV {
+		return EL2
+	}
+	return c.el
+}
+
+// MRS models a system register read by the running software.
+func (c *CPU) MRS(r SysReg) uint64 {
+	info := Info(r)
+	if info.WriteOnly {
+		panic(fmt.Sprintf("arm: MRS of write-only %s", r))
+	}
+	return c.access(r, info, false, 0)
+}
+
+// MSR models a system register write by the running software.
+func (c *CPU) MSR(r SysReg, v uint64) {
+	info := Info(r)
+	if info.ReadOnly {
+		panic(fmt.Sprintf("arm: MSR of read-only %s", r))
+	}
+	c.access(r, info, true, v)
+}
+
+// access implements the trap routing rules of Sections 2 and 4:
+//
+//	physical EL2           native access (with VHE E2H redirection)
+//	physical EL1, EL2 reg  ARMv8.0: undefined ("crash"); ARMv8.3 NV: trap;
+//	                       NEVE: rewritten to memory or an EL1 register
+//	physical EL1, EL1 reg  plain guest: native; deprivileged non-VHE guest
+//	                       hypervisor (NV1 model bit): trap / NEVE memory
+//	physical EL1, EL0 reg  always native
+func (c *CPU) access(r SysReg, info RegInfo, write bool, wval uint64) uint64 {
+	if info.VHEOnly && !c.Feat.VHE {
+		panic(&UndefError{Reg: r, EL: c.el})
+	}
+	if c.el == EL2 {
+		eff := r
+		if info.Alias != RegInvalid {
+			eff = info.Alias
+		} else if info.Min == EL1 && c.regs[HCR_EL2]&HCRE2H != 0 && info.E2H != RegInvalid {
+			// VHE redirection: EL1 access instructions executed at EL2
+			// with E2H=1 access the EL2 registers instead (Section 2).
+			eff = info.E2H
+		}
+		c.cycles += c.Cost.SysReg
+		return c.raw(eff, write, wval)
+	}
+	if c.el != EL1 {
+		panic(fmt.Sprintf("arm: sysreg access to %s at %s not modeled", r, c.el))
+	}
+
+	hcr := c.regs[HCR_EL2]
+	// The NV bits have effect only on hardware that implements the
+	// feature: on ARMv8.0 a deprivileged hypervisor crashes no matter what
+	// the host programs (Section 2).
+	nv := hcr&HCRNV != 0 && c.Feat.NV
+	el2Encoded := info.Min == EL2 || info.EL2Access // includes *_EL12/*_EL02 encodings and SP_EL1
+
+	// GICv3: EL1 writes to ICC_SGI1R_EL1 trap to EL2 when HCR_EL2.IMO is
+	// set, so the hypervisor can emulate SGIs between virtual CPUs (the
+	// Virtual IPI path of Section 5).
+	if r == ICC_SGI1R_EL1 && write && hcr&HCRIMO != 0 {
+		return c.trapSysReg(r, write, wval)
+	}
+
+	switch {
+	case el2Encoded:
+		if !nv {
+			// ARMv8.0: the hypervisor instruction is undefined at EL1 and
+			// the unmodified guest hypervisor crashes (Section 2).
+			panic(&UndefError{Reg: r, EL: c.el})
+		}
+		if hcr&HCRNV2 != 0 && c.Feat.NV2 && c.NV2 != nil {
+			val := wval
+			switch c.NV2.Access(c, r, write, &val) {
+			case NV2Memory, NV2Redirected:
+				return val
+			}
+		}
+		return c.trapSysReg(r, write, wval)
+	case info.Min == EL1 && !info.ReadOnly && nv && hcr&HCRNV1 != 0:
+		// Deprivileged non-VHE guest hypervisor: its EL1 accesses refer to
+		// its VM's virtual EL1 state and must not clobber the hardware EL1
+		// registers that hold the guest hypervisor's own state (Section 4).
+		if hcr&HCRNV2 != 0 && c.Feat.NV2 && c.NV2 != nil {
+			val := wval
+			switch c.NV2.Access(c, r, write, &val) {
+			case NV2Memory, NV2Redirected:
+				return val
+			}
+		}
+		return c.trapSysReg(r, write, wval)
+	default:
+		c.cycles += c.Cost.SysReg
+		return c.raw(r, write, wval)
+	}
+}
+
+// raw performs a non-trapping access: device hook first, then storage.
+func (c *CPU) raw(r SysReg, write bool, wval uint64) uint64 {
+	if !write && c.el == EL1 {
+		// ID register virtualization: reads at EL1 return the values the
+		// hypervisor programmed into VMPIDR_EL2/VPIDR_EL2.
+		switch r {
+		case MPIDR_EL1:
+			return c.regs[VMPIDR_EL2]
+		case MIDR_EL1:
+			return c.regs[VPIDR_EL2]
+		}
+	}
+	if Info(r).Device {
+		for _, d := range c.devices {
+			if write {
+				if d.SysRegWrite(c, r, wval) {
+					return wval
+				}
+			} else if v, ok := d.SysRegRead(c, r); ok {
+				return v
+			}
+		}
+	}
+	if write {
+		c.regs[r] = wval
+		return wval
+	}
+	return c.regs[r]
+}
+
+func (c *CPU) trapSysReg(r SysReg, write bool, wval uint64) uint64 {
+	return c.trap(&Exception{EC: ECSysReg, Reg: r, Write: write, Val: wval})
+}
+
+// HVC models the hvc instruction: a hypercall into EL2 carrying a 16-bit
+// immediate, the vehicle of the paper's paravirtualization (Section 4).
+func (c *CPU) HVC(imm uint16) uint64 {
+	if c.el == EL2 {
+		panic("arm: HVC at EL2 not modeled")
+	}
+	return c.trap(&Exception{EC: ECHVC64, Imm: imm})
+}
+
+// SMC models the smc instruction trapped by HCR_EL2.TSC.
+func (c *CPU) SMC(imm uint16) uint64 {
+	if c.el == EL2 {
+		panic("arm: SMC at EL2 not modeled")
+	}
+	return c.trap(&Exception{EC: ECSMC64, Imm: imm})
+}
+
+// ERET models the eret instruction executed by a deprivileged guest
+// hypervisor: under ARMv8.3 NV it traps to the host hypervisor, which must
+// load the nested VM's state before entry (Section 4); without NV it is the
+// unmodified-hypervisor crash case.
+func (c *CPU) ERET() {
+	if c.el != EL1 {
+		panic("arm: guest ERET only modeled at EL1; the host enters guests with RunGuest")
+	}
+	if c.regs[HCR_EL2]&HCRNV == 0 || !c.Feat.NV {
+		panic(&UndefError{EL: c.el, What: "ERET by deprivileged hypervisor without FEAT_NV"})
+	}
+	c.trap(&Exception{EC: ECERet})
+}
+
+// WFI models the wfi instruction, trapped to EL2 by hypervisors.
+func (c *CPU) WFI() {
+	if c.el == EL2 {
+		panic("arm: WFI at EL2 not modeled")
+	}
+	c.trap(&Exception{EC: ECWFx})
+}
+
+// Tick charges n instructions of guest work and is a preemption point:
+// pending physical interrupts trap to EL2 and pending virtual interrupts
+// are delivered to the guest here.
+func (c *CPU) Tick(n uint64) {
+	c.cycles += n * c.Cost.Insn
+	c.checkIRQ()
+	c.deliverVIRQ()
+}
+
+// AssertIRQ marks a physical interrupt pending on this core (called by the
+// GIC distributor model).
+func (c *CPU) AssertIRQ(intid int) {
+	c.pendingIRQ = append(c.pendingIRQ, intid)
+}
+
+// HasPendingIRQ reports whether a physical interrupt is pending.
+func (c *CPU) HasPendingIRQ() bool { return len(c.pendingIRQ) > 0 }
+
+func (c *CPU) checkIRQ() {
+	for len(c.pendingIRQ) > 0 && c.el != EL2 && c.regs[HCR_EL2]&HCRIMO != 0 {
+		intid := c.pendingIRQ[0]
+		c.pendingIRQ = c.pendingIRQ[1:]
+		c.trap(&Exception{EC: ECVirtIRQ, IRQ: intid})
+	}
+}
+
+// TakeIRQ pops one pending physical interrupt; used by the host hypervisor
+// when it handles interrupts natively (while no guest is running).
+func (c *CPU) TakeIRQ() (int, bool) {
+	if len(c.pendingIRQ) == 0 {
+		return 0, false
+	}
+	intid := c.pendingIRQ[0]
+	c.pendingIRQ = c.pendingIRQ[1:]
+	return intid, true
+}
+
+// trap takes a synchronous exception (or interrupt) to EL2, runs the host
+// hypervisor's vector, and returns to the guest context the host scheduled.
+// For read-style traps the handler's return value is the instruction's
+// result.
+func (c *CPU) trap(e *Exception) uint64 {
+	prevLevel := c.level
+	c.cycles += c.Cost.TrapEnter
+	c.attribute(prevLevel)
+	if c.Trace != nil {
+		c.Trace.Trap(trace.Event{
+			Reason:    reasonFor(e),
+			Detail:    detailFor(e),
+			FromLevel: int(c.level),
+			ToLevel:   0,
+			Cycle:     c.cycles,
+		})
+	}
+	if c.Vector == nil {
+		panic(fmt.Sprintf("arm: trap %s with no EL2 vector installed", e.EC))
+	}
+	c.el, c.level = EL2, 0
+	v := c.Vector.HandleTrap(c, e)
+	c.cycles += c.Cost.TrapReturn
+	c.attribute(0)
+	c.el = EL1
+	c.level = c.guestLevel
+	c.deliverVIRQ()
+	return v
+}
+
+// RunGuest is the host hypervisor's guest entry: it charges the eret,
+// switches to the guest context at the given virtualization level, runs fn
+// (the guest software), and returns to EL2 when fn completes. It is used
+// both for the top-level run loop and for emulating exception entry into a
+// guest hypervisor's virtual EL2 vector (forwarding an exit, Section 4).
+func (c *CPU) RunGuest(level VLevel, fn func()) {
+	if c.el != EL2 {
+		panic("arm: RunGuest requires EL2")
+	}
+	c.cycles += c.Cost.TrapReturn
+	c.attribute(0)
+	c.el = EL1
+	c.SetGuestLevel(level)
+	c.deliverVIRQ()
+	fn()
+	c.attribute(c.level)
+	c.el = EL2
+	c.level = 0
+}
+
+// deliverVIRQ delivers the highest-priority pending virtual interrupt from
+// the list registers to the running guest, modeling the GIC virtual CPU
+// interface (Section 2: VMs acknowledge and complete virtual interrupts
+// without trapping).
+func (c *CPU) deliverVIRQ() {
+	if c.el != EL1 || c.inVIRQ || c.irqMasked || c.VIRQ == nil {
+		return
+	}
+	if c.regs[ICH_HCR_EL2]&ICHHCREn == 0 || c.regs[HCR_EL2]&HCRIMO == 0 {
+		return
+	}
+	for {
+		lr, ok := c.findPendingLR()
+		if !ok {
+			return
+		}
+		// Exception entry does not change the list register; the guest's
+		// IAR read acknowledges (pending -> active) and its EOI completes.
+		before := c.regs[lr]
+		c.cycles += c.Cost.ExcEnterEL1
+		c.inVIRQ = true
+		c.irqMasked = true
+		c.VIRQ.HandleVIRQ(c, int(before&LRVIntIDMask))
+		c.inVIRQ = false
+		c.irqMasked = false
+		if c.regs[lr] == before {
+			// The guest did not acknowledge; stop to avoid livelock.
+			return
+		}
+	}
+}
+
+func (c *CPU) findPendingLR() (SysReg, bool) {
+	for i := 0; i < 16; i++ {
+		r := ICH_LR0_EL2 + SysReg(i)
+		v := c.regs[r]
+		if lrState(v) == LRStatePending {
+			return r, true
+		}
+	}
+	return RegInvalid, false
+}
+
+// GuestRead models a data memory read by guest software at intermediate
+// physical address ipa. Unmapped addresses raise a stage-2 fault to EL2,
+// whose handler supplies the value (MMIO emulation); device addresses go to
+// the physical bus; everything else is RAM.
+func (c *CPU) GuestRead(ipa mem.Addr, size int) uint64 {
+	v, _ := c.guestAccess(ipa, size, false, 0)
+	return v
+}
+
+// GuestWrite models a data memory write by guest software.
+func (c *CPU) GuestWrite(ipa mem.Addr, size int, v uint64) {
+	c.guestAccess(ipa, size, true, v)
+}
+
+func (c *CPU) guestAccess(ipa mem.Addr, size int, write bool, wval uint64) (uint64, bool) {
+	pa := ipa
+	if c.el != EL2 && c.regs[HCR_EL2]&HCRVM != 0 {
+		if c.S2 == nil {
+			panic("arm: stage-2 enabled with no MMU attached")
+		}
+		var ok bool
+		pa, ok = c.S2.Translate(c, ipa, write)
+		if !ok {
+			v := c.trap(&Exception{EC: ECDAbtLow, FaultIPA: ipa, Write: write, Val: wval, Size: size})
+			return v, true
+		}
+	}
+	if c.Bus != nil {
+		val := wval
+		if c.Bus.Access(c, pa, write, size, &val) {
+			c.cycles += c.Cost.MMIO
+			return val, true
+		}
+	}
+	c.cycles += c.Cost.Mem
+	if write {
+		switch size {
+		case 4:
+			if err := c.Mem.Write32(pa, uint32(wval)); err != nil {
+				panic(err)
+			}
+		default:
+			if err := c.Mem.Write64(pa, wval); err != nil {
+				panic(err)
+			}
+		}
+		return wval, false
+	}
+	switch size {
+	case 4:
+		v, err := c.Mem.Read32(pa)
+		if err != nil {
+			panic(err)
+		}
+		return uint64(v), false
+	default:
+		v, err := c.Mem.Read64(pa)
+		if err != nil {
+			panic(err)
+		}
+		return v, false
+	}
+}
+
+// PhysRead64 is a physical (EL2) memory read by the host hypervisor.
+func (c *CPU) PhysRead64(pa mem.Addr) uint64 {
+	c.cycles += c.Cost.Mem
+	return c.Mem.MustRead64(pa)
+}
+
+// PhysWrite64 is a physical (EL2) memory write by the host hypervisor.
+func (c *CPU) PhysWrite64(pa mem.Addr, v uint64) {
+	c.cycles += c.Cost.Mem
+	c.Mem.MustWrite64(pa, v)
+}
+
+func reasonFor(e *Exception) trace.Reason {
+	switch e.EC {
+	case ECSysReg:
+		return trace.ReasonSysReg
+	case ECERet:
+		return trace.ReasonERet
+	case ECHVC64:
+		return trace.ReasonHVC
+	case ECSMC64:
+		return trace.ReasonSMC
+	case ECDAbtLow, ECIAbtLow:
+		return trace.ReasonStage2Fault
+	case ECVirtIRQ:
+		return trace.ReasonIRQ
+	case ECWFx:
+		return trace.ReasonWFx
+	default:
+		return trace.ReasonNone
+	}
+}
+
+func detailFor(e *Exception) string {
+	switch e.EC {
+	case ECSysReg:
+		if e.Write {
+			return "msr " + e.Reg.String()
+		}
+		return "mrs " + e.Reg.String()
+	case ECERet:
+		return "eret"
+	case ECHVC64:
+		return fmt.Sprintf("hvc #%d", e.Imm)
+	case ECDAbtLow:
+		return fmt.Sprintf("s2-fault %#x", uint64(e.FaultIPA))
+	case ECVirtIRQ:
+		return fmt.Sprintf("irq %d", e.IRQ)
+	case ECWFx:
+		return "wfi"
+	case ECSMC64:
+		return "smc"
+	default:
+		return e.EC.String()
+	}
+}

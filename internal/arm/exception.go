@@ -1,0 +1,129 @@
+package arm
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/mem"
+)
+
+// EC is the exception class reported in ESR_EL2.EC for exceptions taken to
+// EL2. Values follow the ARM ARM.
+type EC uint8
+
+const (
+	ECUnknown  EC = 0x00
+	ECWFx      EC = 0x01
+	ECHVC64    EC = 0x16
+	ECSMC64    EC = 0x17
+	ECSysReg   EC = 0x18 // trapped MSR/MRS
+	ECERet     EC = 0x1A // trapped ERET (ARMv8.3 FEAT_NV)
+	ECIAbtLow  EC = 0x20
+	ECDAbtLow  EC = 0x24 // data abort from a lower EL (stage-2 fault)
+	ECVirtIRQ  EC = 0xF0 // model-internal: asynchronous IRQ, not a syndrome
+	ECGranted  EC = 0xF1 // model-internal: deliberate exit (e.g. WFI wakeup)
+	ECMMIORead EC = 0xF2 // model-internal distinction for traced MMIO
+)
+
+func (ec EC) String() string {
+	switch ec {
+	case ECUnknown:
+		return "unknown"
+	case ECWFx:
+		return "wfx"
+	case ECHVC64:
+		return "hvc"
+	case ECSMC64:
+		return "smc"
+	case ECSysReg:
+		return "sysreg"
+	case ECERet:
+		return "eret"
+	case ECIAbtLow:
+		return "iabt"
+	case ECDAbtLow:
+		return "dabt"
+	case ECVirtIRQ:
+		return "irq"
+	default:
+		return fmt.Sprintf("ec(%#x)", uint8(ec))
+	}
+}
+
+// Exception describes one exception taken to EL2 (a "trap" or "exit").
+// It plays the role of ESR_EL2/FAR_EL2/HPFAR_EL2 decoding in a real
+// hypervisor.
+type Exception struct {
+	EC EC
+	// Imm is the 16-bit immediate of HVC/SMC instructions. The paper's
+	// paravirtualization encodes the replaced hypervisor instruction here
+	// (Section 4).
+	Imm uint16
+	// Reg is the trapped system register for ECSysReg.
+	Reg SysReg
+	// Write distinguishes MSR (true) from MRS, and store from load faults.
+	Write bool
+	// Val is the value being written for write traps.
+	Val uint64
+	// FaultIPA is the intermediate physical address of a stage-2 fault
+	// (the HPFAR_EL2 payload).
+	FaultIPA mem.Addr
+	// Size is the access size in bytes for data aborts.
+	Size int
+	// IRQ is the interrupt ID for ECVirtIRQ.
+	IRQ int
+}
+
+// Handler receives exceptions taken to EL2. The host hypervisor registers
+// one per CPU. For read-style traps (MRS, MMIO load) the returned value is
+// handed back to the trapped instruction.
+type Handler interface {
+	HandleTrap(c *CPU, e *Exception) uint64
+}
+
+// VIRQSink receives virtual interrupt delivery into the software currently
+// running in a VM (exception entry to vEL1): the guest OS's IRQ vector.
+type VIRQSink interface {
+	HandleVIRQ(c *CPU, intid int)
+}
+
+// NV2Outcome is the decision of the NEVE engine for one register access
+// from virtual EL2.
+type NV2Outcome int
+
+const (
+	// NV2Trap: NEVE does not cover this access; take the ARMv8.3 trap.
+	NV2Trap NV2Outcome = iota
+	// NV2Memory: the access was transparently rewritten to a load/store on
+	// the deferred access page (the engine performed it).
+	NV2Memory
+	// NV2Redirected: the access was redirected to the corresponding EL1
+	// register (the engine performed it).
+	NV2Redirected
+)
+
+// NV2Engine is the hook through which the NEVE extension (package core)
+// plugs into the CPU model. It is consulted for accesses from virtual EL2
+// that would otherwise trap, when HCR_EL2.{NV,NV2} are set.
+type NV2Engine interface {
+	// Access routes one virtual-EL2 system register access. For reads the
+	// engine stores the result through val; for writes it consumes *val.
+	Access(c *CPU, r SysReg, write bool, val *uint64) NV2Outcome
+}
+
+// UndefError models an Undefined Instruction exception delivered to EL1:
+// what happens when an unmodified hypervisor executes an EL2 instruction at
+// EL1 on hardware without nested virtualization support — "likely leading
+// to a software crash" (paper Section 2). Modeled software does not handle
+// it; it propagates as a panic and tests assert on it.
+type UndefError struct {
+	Reg  SysReg
+	What string
+	EL   EL
+}
+
+func (u *UndefError) Error() string {
+	if u.What != "" {
+		return fmt.Sprintf("undefined instruction at %s: %s", u.EL, u.What)
+	}
+	return fmt.Sprintf("undefined instruction at %s: access to %s", u.EL, u.Reg)
+}

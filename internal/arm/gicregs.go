@@ -1,0 +1,71 @@
+package arm
+
+// Architectural encodings for the GIC virtual interface control registers
+// (ICH_*_EL2), which live in the CPU's system register file. The layout
+// follows GICv3 (ARM IHI 0069): the virtual CPU interface hardware — modeled
+// by (*CPU).deliverVIRQ and the GIC device — interprets the list registers
+// directly, which is what lets a VM acknowledge and complete virtual
+// interrupts without trapping (Section 2).
+
+// ICH_HCR_EL2 bits.
+const (
+	// ICHHCREn globally enables the virtual CPU interface.
+	ICHHCREn uint64 = 1 << 0
+	// ICHHCRUIE enables the underflow maintenance interrupt, used by
+	// hypervisors when more virtual interrupts are pending than there are
+	// list registers.
+	ICHHCRUIE uint64 = 1 << 1
+)
+
+// List register (ICH_LR<n>_EL2) fields.
+const (
+	// LRVIntIDMask holds the virtual interrupt ID.
+	LRVIntIDMask uint64 = 0xffffffff
+	// LRPIntIDShift holds the physical interrupt ID for hardware
+	// interrupts (HW=1), deactivated in the distributor on guest EOI.
+	LRPIntIDShift        = 32
+	LRPIntIDMask  uint64 = 0x3ff << LRPIntIDShift
+	// LRHW marks a hardware interrupt.
+	LRHW uint64 = 1 << 61
+	// LRGroup1 marks a Group 1 interrupt.
+	LRGroup1 uint64 = 1 << 60
+	// LRStateShift/LRStateMask hold the interrupt state.
+	LRStateShift        = 62
+	LRStateMask  uint64 = 3 << LRStateShift
+)
+
+// LRState is the state field of a list register.
+type LRState uint64
+
+const (
+	LRStateInvalid       LRState = 0
+	LRStatePending       LRState = 1
+	LRStateActive        LRState = 2
+	LRStatePendingActive LRState = 3
+)
+
+func lrState(v uint64) LRState { return LRState((v & LRStateMask) >> LRStateShift) }
+
+func lrSetState(v uint64, s LRState) uint64 {
+	return (v &^ LRStateMask) | (uint64(s) << LRStateShift)
+}
+
+// LRState returns the state field of a list register value.
+func LRStateOf(v uint64) LRState { return lrState(v) }
+
+// MakeLR builds a list register value for a pending virtual interrupt.
+// If hwIntID >= 0 the entry is a hardware interrupt linked to that physical
+// interrupt ID.
+func MakeLR(vIntID int, hwIntID int) uint64 {
+	v := uint64(vIntID)&LRVIntIDMask | LRGroup1 | uint64(LRStatePending)<<LRStateShift
+	if hwIntID >= 0 {
+		v |= LRHW | (uint64(hwIntID) << LRPIntIDShift & LRPIntIDMask)
+	}
+	return v
+}
+
+// LRVIntID extracts the virtual interrupt ID.
+func LRVIntID(v uint64) int { return int(v & LRVIntIDMask) }
+
+// LRPIntID extracts the linked physical interrupt ID for HW entries.
+func LRPIntID(v uint64) int { return int((v & LRPIntIDMask) >> LRPIntIDShift) }

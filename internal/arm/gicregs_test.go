@@ -1,0 +1,73 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeLRFields(t *testing.T) {
+	v := MakeLR(42, -1)
+	if LRVIntID(v) != 42 {
+		t.Errorf("vINTID = %d", LRVIntID(v))
+	}
+	if LRStateOf(v) != LRStatePending {
+		t.Errorf("state = %v", LRStateOf(v))
+	}
+	if v&LRHW != 0 {
+		t.Error("HW set for software interrupt")
+	}
+	if v&LRGroup1 == 0 {
+		t.Error("Group1 clear")
+	}
+
+	hw := MakeLR(27, 27)
+	if hw&LRHW == 0 {
+		t.Error("HW clear for hardware interrupt")
+	}
+	if LRPIntID(hw) != 27 {
+		t.Errorf("pINTID = %d", LRPIntID(hw))
+	}
+}
+
+func TestLRStateTransitions(t *testing.T) {
+	v := MakeLR(5, -1)
+	v = lrSetState(v, LRStateActive)
+	if LRStateOf(v) != LRStateActive || LRVIntID(v) != 5 {
+		t.Errorf("after activate: state %v id %d", LRStateOf(v), LRVIntID(v))
+	}
+	v = lrSetState(v, LRStateInvalid)
+	if LRStateOf(v) != LRStateInvalid {
+		t.Errorf("after invalidate: %v", LRStateOf(v))
+	}
+}
+
+func TestQuickLRRoundTrip(t *testing.T) {
+	f := func(vid uint16, pid uint16, hw bool) bool {
+		p := -1
+		if hw {
+			p = int(pid % 1024)
+		}
+		v := MakeLR(int(vid), p)
+		if LRVIntID(v) != int(vid) {
+			return false
+		}
+		if hw && LRPIntID(v) != p {
+			return false
+		}
+		return LRStateOf(v) == LRStatePending
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLRStatePreservesID(t *testing.T) {
+	f := func(vid uint16, s8 uint8) bool {
+		s := LRState(s8 % 4)
+		v := lrSetState(MakeLR(int(vid), -1), s)
+		return LRStateOf(v) == s && LRVIntID(v) == int(vid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

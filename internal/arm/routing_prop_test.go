@@ -1,0 +1,142 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/nevesim/neve/internal/mem"
+)
+
+// Property tests over the trap-routing rules: for arbitrary registers and
+// configurations, the architectural invariants of Sections 2 and 4 hold.
+
+type countEngine struct{ handled int }
+
+func (e *countEngine) Access(c *CPU, r SysReg, write bool, val *uint64) NV2Outcome {
+	e.handled++
+	if !write {
+		*val = 0
+	}
+	return NV2Memory
+}
+
+func TestQuickRoutingInvariants(t *testing.T) {
+	regs := AllRegs()
+	f := func(regIdx uint16, hcrBits uint8, write bool) bool {
+		r := regs[int(regIdx)%len(regs)]
+		info := Info(r)
+		if info.Device || r == ICC_SGI1R_EL1 {
+			return true // device semantics covered elsewhere
+		}
+		if write && info.ReadOnly || !write && info.WriteOnly {
+			return true
+		}
+
+		var hcr uint64
+		if hcrBits&1 != 0 {
+			hcr |= HCRNV
+		}
+		if hcrBits&2 != 0 {
+			hcr |= HCRNV1
+		}
+		if hcrBits&4 != 0 {
+			hcr |= HCRNV2
+		}
+
+		c := NewCPU(0, mem.New(0), FeaturesV84())
+		traps := 0
+		c.Vector = handlerFn(func(cc *CPU, e *Exception) uint64 { traps++; return 0 })
+		eng := &countEngine{}
+		c.NV2 = eng
+		c.SetReg(HCR_EL2, hcr)
+
+		crashed := false
+		c.RunGuest(1, func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(*UndefError); !ok {
+						panic(rec) // only architectural crashes allowed
+					}
+					crashed = true
+				}
+			}()
+			if write {
+				c.MSR(r, 1)
+			} else {
+				c.MRS(r)
+			}
+		})
+
+		el2Encoded := info.Min == EL2 || info.EL2Access
+		nv := hcr&HCRNV != 0
+		nv2 := nv && hcr&HCRNV2 != 0
+
+		switch {
+		case el2Encoded && !nv:
+			// Invariant 1: EL2 instructions without NV crash (Section 2).
+			return crashed && traps == 0 && eng.handled == 0
+		case el2Encoded && nv2:
+			// Invariant 2: with NV2 the engine is always consulted; it
+			// handled the access, so no trap.
+			return !crashed && eng.handled == 1 && traps == 0
+		case el2Encoded:
+			// Invariant 3: NV without NV2 traps.
+			return !crashed && traps == 1 && eng.handled == 0
+		case info.Min == EL0:
+			// Invariant 4: EL0 registers never trap (Section 4).
+			return !crashed && traps == 0 && eng.handled == 0
+		case info.Min == EL1 && info.ReadOnly:
+			// ID register reads never trap.
+			return !crashed && traps == 0
+		case info.Min == EL1 && nv && hcr&HCRNV1 != 0:
+			// Invariant 5: NV1 intercepts EL1 accesses (engine first under
+			// NV2).
+			if nv2 {
+				return !crashed && eng.handled == 1 && traps == 0
+			}
+			return !crashed && traps == 1
+		default:
+			// Plain EL1 access: direct.
+			return !crashed && traps == 0 && eng.handled == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type handlerFn func(c *CPU, e *Exception) uint64
+
+func (f handlerFn) HandleTrap(c *CPU, e *Exception) uint64 { return f(c, e) }
+
+func TestQuickTrapCostUniform(t *testing.T) {
+	// The Section 5 interchangeability property as a quick check: the
+	// round-trip cost of any trapping operation equals hvc's.
+	c := NewCPU(0, mem.New(0), FeaturesV83())
+	c.Vector = handlerFn(func(cc *CPU, e *Exception) uint64 { return 0 })
+	c.SetReg(HCR_EL2, HCRNV|HCRNV1)
+	var hvcCost uint64
+	c.RunGuest(1, func() {
+		before := c.Cycles()
+		c.HVC(0)
+		hvcCost = c.Cycles() - before
+	})
+	regs := []SysReg{VTTBR_EL2, HCR_EL2, SCTLR_EL1, ELR_EL1, ICH_LR0_EL2}
+	f := func(i uint8, write bool) bool {
+		r := regs[int(i)%len(regs)]
+		var cost uint64
+		c.RunGuest(1, func() {
+			before := c.Cycles()
+			if write {
+				c.MSR(r, 1)
+			} else {
+				c.MRS(r)
+			}
+			cost = c.Cycles() - before
+		})
+		return cost == hvcCost
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

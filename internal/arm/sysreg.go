@@ -1,0 +1,391 @@
+package arm
+
+import "fmt"
+
+// SysReg identifies an ARMv8 system register in the model. The names are
+// the architectural mnemonics (underscores intentional, matching the ARM
+// ARM) because every table in the paper refers to them.
+//
+// *_EL12 and *_EL02 identifiers are the distinct instruction encodings that
+// VHE adds for a hypervisor running with E2H=1 to reach the EL1/EL0 copies
+// of redirected registers (paper Section 2); they alias the storage of the
+// underlying register.
+type SysReg uint16
+
+const (
+	RegInvalid SysReg = iota
+
+	// EL0-accessible registers. Accesses never trap under the nested
+	// virtualization trap rules (Section 4): the physical EL0 state always
+	// belongs to whatever context the guest hypervisor is preparing.
+	TPIDR_EL0
+	TPIDRRO_EL0
+	CNTFRQ_EL0
+	CNTPCT_EL0
+	CNTVCT_EL0
+	CNTP_CTL_EL0
+	CNTP_CVAL_EL0
+	CNTV_CTL_EL0
+	CNTV_CVAL_EL0
+	PMUSERENR_EL0
+	PMSELR_EL0
+	PMCR_EL0
+
+	// EL1 registers: the "VM Execution Control" group of Table 3 ...
+	SCTLR_EL1
+	TTBR0_EL1
+	TTBR1_EL1
+	TCR_EL1
+	MAIR_EL1
+	AMAIR_EL1
+	AFSR0_EL1
+	AFSR1_EL1
+	CONTEXTIDR_EL1
+	CPACR_EL1
+	ELR_EL1
+	ESR_EL1
+	FAR_EL1
+	SP_EL1
+	SPSR_EL1
+	VBAR_EL1
+
+	// ... plus the additional EL1 context KVM/ARM switches. These are
+	// VNCR-mapped in the final ARMv8.4 FEAT_NV2 specification even though
+	// the paper's Table 3 omits them for space.
+	PAR_EL1
+	TPIDR_EL1
+	CNTKCTL_EL1
+	ACTLR_EL1
+	CSSELR_EL1
+	MDSCR_EL1 // debug: cached reads, trapped writes (Section 6.1)
+	MPIDR_EL1 // read-only ID register, virtualized via VMPIDR_EL2
+	MIDR_EL1  // read-only ID register, virtualized via VPIDR_EL2
+
+	// GICv3 CPU interface (EL1). Accesses have device semantics and are
+	// served by the GIC model, not plain storage.
+	ICC_IAR1_EL1
+	ICC_EOIR1_EL1
+	ICC_DIR_EL1
+	ICC_PMR_EL1
+	ICC_BPR1_EL1
+	ICC_CTLR_EL1
+	ICC_IGRPEN1_EL1
+	ICC_SGI1R_EL1
+
+	// EL2 registers: "VM Trap Control" group of Table 3.
+	HACR_EL2
+	HCR_EL2
+	HPFAR_EL2
+	HSTR_EL2
+	TPIDR_EL2
+	VMPIDR_EL2
+	VNCR_EL2
+	VPIDR_EL2
+	VTCR_EL2
+	VTTBR_EL2
+
+	// EL2 registers: "Hypervisor Control" group of Table 4.
+	AFSR0_EL2
+	AFSR1_EL2
+	AMAIR_EL2
+	ELR_EL2
+	ESR_EL2
+	FAR_EL2
+	SPSR_EL2
+	MAIR_EL2
+	SCTLR_EL2
+	VBAR_EL2
+	CONTEXTIDR_EL2 // VHE only
+	TTBR1_EL2      // VHE only
+	CNTHCTL_EL2
+	CNTVOFF_EL2
+	CPTR_EL2
+	MDCR_EL2
+	TCR_EL2
+	TTBR0_EL2
+	SP_EL2
+
+	// EL2 timer registers. All accesses trap under NEVE because reads must
+	// observe values updated by hardware (Section 6.1, last paragraph).
+	CNTHP_CTL_EL2
+	CNTHP_CVAL_EL2
+	CNTHV_CTL_EL2  // VHE only: the extra EL2 virtual timer (Section 7.1)
+	CNTHV_CVAL_EL2 // VHE only
+
+	// GICv3 virtual interface control registers (Table 5), the "hypervisor
+	// control interface" used to run VMs with virtual interrupts.
+	ICH_HCR_EL2
+	ICH_VTR_EL2
+	ICH_VMCR_EL2
+	ICH_MISR_EL2
+	ICH_EISR_EL2
+	ICH_ELRSR_EL2
+	ICH_AP0R0_EL2
+	ICH_AP0R1_EL2
+	ICH_AP0R2_EL2
+	ICH_AP0R3_EL2
+	ICH_AP1R0_EL2
+	ICH_AP1R1_EL2
+	ICH_AP1R2_EL2
+	ICH_AP1R3_EL2
+	ICH_LR0_EL2
+	ICH_LR1_EL2
+	ICH_LR2_EL2
+	ICH_LR3_EL2
+	ICH_LR4_EL2
+	ICH_LR5_EL2
+	ICH_LR6_EL2
+	ICH_LR7_EL2
+	ICH_LR8_EL2
+	ICH_LR9_EL2
+	ICH_LR10_EL2
+	ICH_LR11_EL2
+	ICH_LR12_EL2
+	ICH_LR13_EL2
+	ICH_LR14_EL2
+	ICH_LR15_EL2
+
+	// VHE *_EL12 access encodings: reach the EL1 register from EL2 when
+	// E2H redirection is active.
+	SCTLR_EL12
+	TTBR0_EL12
+	TTBR1_EL12
+	TCR_EL12
+	MAIR_EL12
+	AMAIR_EL12
+	AFSR0_EL12
+	AFSR1_EL12
+	CONTEXTIDR_EL12
+	CPACR_EL12
+	ELR_EL12
+	ESR_EL12
+	FAR_EL12
+	SPSR_EL12
+	VBAR_EL12
+	CNTKCTL_EL12
+
+	// VHE *_EL02 access encodings for the EL0 timer registers. These are
+	// the instructions that "always trap to the host hypervisor" for a VHE
+	// guest hypervisor programming its EL1 virtual timer (Section 7.1).
+	CNTP_CTL_EL02
+	CNTP_CVAL_EL02
+	CNTV_CTL_EL02
+	CNTV_CVAL_EL02
+
+	numSysRegs
+)
+
+// NumSysRegs is the size of the register file array.
+const NumSysRegs = int(numSysRegs)
+
+// RegInfo is static metadata about one system register.
+type RegInfo struct {
+	// Name is the architectural mnemonic.
+	Name string
+	// Min is the lowest exception level at which a native (non-trapping,
+	// non-virtualized) access is legal.
+	Min EL
+	// VHEOnly marks registers/encodings added by ARMv8.1 VHE; they are
+	// undefined on ARMv8.0 hardware and must be paravirtualized to trap
+	// (Section 4, fourth kind).
+	VHEOnly bool
+	// ReadOnly/WriteOnly accesses in the wrong direction are modeled as
+	// software bugs (panic).
+	ReadOnly  bool
+	WriteOnly bool
+	// EL2Access marks an EL1-context register whose access instruction
+	// nevertheless requires EL2 (SP_EL1): deprivileged accesses trap like
+	// EL2 register accesses, but the register classifies as VM state.
+	EL2Access bool
+	// Device routes accesses to a registered SysRegDevice (GIC CPU
+	// interface, timers) instead of plain storage.
+	Device bool
+	// Alias, when set, marks this ID as an alternate encoding (EL12/EL02)
+	// of the named register: storage is shared.
+	Alias SysReg
+	// E2H, when set on an EL1 register, names the EL2 register that an
+	// EL1-encoded access reaches at EL2 when HCR_EL2.E2H is 1 (VHE
+	// redirection, Section 2).
+	E2H SysReg
+}
+
+var regInfo [NumSysRegs]RegInfo
+
+// IsICHLR reports whether r is one of the 16 list registers.
+func IsICHLR(r SysReg) bool { return r >= ICH_LR0_EL2 && r <= ICH_LR15_EL2 }
+
+// ICHLR returns the list register n (0..15).
+func ICHLR(n int) SysReg {
+	if n < 0 || n > 15 {
+		panic(fmt.Sprintf("arm: bad list register index %d", n))
+	}
+	return ICH_LR0_EL2 + SysReg(n)
+}
+
+// Info returns the metadata for r.
+func Info(r SysReg) RegInfo {
+	if r <= RegInvalid || r >= numSysRegs {
+		panic(fmt.Sprintf("arm: invalid system register id %d", uint16(r)))
+	}
+	return regInfo[r]
+}
+
+func (r SysReg) String() string {
+	if r <= RegInvalid || r >= numSysRegs {
+		return fmt.Sprintf("sysreg(%d)", uint16(r))
+	}
+	return regInfo[r].Name
+}
+
+// AllRegs returns every defined register ID, in declaration order.
+func AllRegs() []SysReg {
+	out := make([]SysReg, 0, NumSysRegs-1)
+	for r := RegInvalid + 1; r < numSysRegs; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+func def(r SysReg, info RegInfo) {
+	if regInfo[r].Name != "" {
+		panic("arm: duplicate register definition " + info.Name)
+	}
+	regInfo[r] = info
+}
+
+func init() {
+	el0 := func(r SysReg, name string) { def(r, RegInfo{Name: name, Min: EL0}) }
+	el1 := func(r SysReg, name string, e2h SysReg) { def(r, RegInfo{Name: name, Min: EL1, E2H: e2h}) }
+	el2 := func(r SysReg, name string) { def(r, RegInfo{Name: name, Min: EL2}) }
+	el2vhe := func(r SysReg, name string) { def(r, RegInfo{Name: name, Min: EL2, VHEOnly: true}) }
+	el12 := func(r SysReg, name string, alias SysReg) {
+		def(r, RegInfo{Name: name, Min: EL2, VHEOnly: true, Alias: alias})
+	}
+
+	el0(TPIDR_EL0, "TPIDR_EL0")
+	el0(TPIDRRO_EL0, "TPIDRRO_EL0")
+	el0(CNTFRQ_EL0, "CNTFRQ_EL0")
+	def(CNTPCT_EL0, RegInfo{Name: "CNTPCT_EL0", Min: EL0, ReadOnly: true, Device: true})
+	def(CNTVCT_EL0, RegInfo{Name: "CNTVCT_EL0", Min: EL0, ReadOnly: true, Device: true})
+	def(CNTP_CTL_EL0, RegInfo{Name: "CNTP_CTL_EL0", Min: EL0, Device: true})
+	def(CNTP_CVAL_EL0, RegInfo{Name: "CNTP_CVAL_EL0", Min: EL0, Device: true})
+	def(CNTV_CTL_EL0, RegInfo{Name: "CNTV_CTL_EL0", Min: EL0, Device: true})
+	def(CNTV_CVAL_EL0, RegInfo{Name: "CNTV_CVAL_EL0", Min: EL0, Device: true})
+	el0(PMUSERENR_EL0, "PMUSERENR_EL0")
+	el0(PMSELR_EL0, "PMSELR_EL0")
+	el0(PMCR_EL0, "PMCR_EL0")
+
+	el1(SCTLR_EL1, "SCTLR_EL1", SCTLR_EL2)
+	el1(TTBR0_EL1, "TTBR0_EL1", TTBR0_EL2)
+	el1(TTBR1_EL1, "TTBR1_EL1", TTBR1_EL2)
+	el1(TCR_EL1, "TCR_EL1", TCR_EL2)
+	el1(MAIR_EL1, "MAIR_EL1", MAIR_EL2)
+	el1(AMAIR_EL1, "AMAIR_EL1", AMAIR_EL2)
+	el1(AFSR0_EL1, "AFSR0_EL1", AFSR0_EL2)
+	el1(AFSR1_EL1, "AFSR1_EL1", AFSR1_EL2)
+	el1(CONTEXTIDR_EL1, "CONTEXTIDR_EL1", CONTEXTIDR_EL2)
+	el1(CPACR_EL1, "CPACR_EL1", CPTR_EL2)
+	el1(ELR_EL1, "ELR_EL1", ELR_EL2)
+	el1(ESR_EL1, "ESR_EL1", ESR_EL2)
+	el1(FAR_EL1, "FAR_EL1", FAR_EL2)
+	def(SP_EL1, RegInfo{Name: "SP_EL1", Min: EL1, EL2Access: true})
+	el1(SPSR_EL1, "SPSR_EL1", SPSR_EL2)
+	el1(VBAR_EL1, "VBAR_EL1", VBAR_EL2)
+
+	el1(PAR_EL1, "PAR_EL1", RegInvalid)
+	el1(TPIDR_EL1, "TPIDR_EL1", RegInvalid)
+	el1(CNTKCTL_EL1, "CNTKCTL_EL1", CNTHCTL_EL2)
+	el1(ACTLR_EL1, "ACTLR_EL1", RegInvalid)
+	el1(CSSELR_EL1, "CSSELR_EL1", RegInvalid)
+	el1(MDSCR_EL1, "MDSCR_EL1", RegInvalid)
+	def(MPIDR_EL1, RegInfo{Name: "MPIDR_EL1", Min: EL1, ReadOnly: true})
+	def(MIDR_EL1, RegInfo{Name: "MIDR_EL1", Min: EL1, ReadOnly: true})
+
+	def(ICC_IAR1_EL1, RegInfo{Name: "ICC_IAR1_EL1", Min: EL1, ReadOnly: true, Device: true})
+	def(ICC_EOIR1_EL1, RegInfo{Name: "ICC_EOIR1_EL1", Min: EL1, WriteOnly: true, Device: true})
+	def(ICC_DIR_EL1, RegInfo{Name: "ICC_DIR_EL1", Min: EL1, WriteOnly: true, Device: true})
+	def(ICC_PMR_EL1, RegInfo{Name: "ICC_PMR_EL1", Min: EL1, Device: true})
+	def(ICC_BPR1_EL1, RegInfo{Name: "ICC_BPR1_EL1", Min: EL1, Device: true})
+	def(ICC_CTLR_EL1, RegInfo{Name: "ICC_CTLR_EL1", Min: EL1, Device: true})
+	def(ICC_IGRPEN1_EL1, RegInfo{Name: "ICC_IGRPEN1_EL1", Min: EL1, Device: true})
+	def(ICC_SGI1R_EL1, RegInfo{Name: "ICC_SGI1R_EL1", Min: EL1, WriteOnly: true, Device: true})
+
+	el2(HACR_EL2, "HACR_EL2")
+	el2(HCR_EL2, "HCR_EL2")
+	el2(HPFAR_EL2, "HPFAR_EL2")
+	el2(HSTR_EL2, "HSTR_EL2")
+	el2(TPIDR_EL2, "TPIDR_EL2")
+	el2(VMPIDR_EL2, "VMPIDR_EL2")
+	el2(VNCR_EL2, "VNCR_EL2")
+	el2(VPIDR_EL2, "VPIDR_EL2")
+	el2(VTCR_EL2, "VTCR_EL2")
+	el2(VTTBR_EL2, "VTTBR_EL2")
+
+	el2(AFSR0_EL2, "AFSR0_EL2")
+	el2(AFSR1_EL2, "AFSR1_EL2")
+	el2(AMAIR_EL2, "AMAIR_EL2")
+	el2(ELR_EL2, "ELR_EL2")
+	el2(ESR_EL2, "ESR_EL2")
+	el2(FAR_EL2, "FAR_EL2")
+	el2(SPSR_EL2, "SPSR_EL2")
+	el2(MAIR_EL2, "MAIR_EL2")
+	el2(SCTLR_EL2, "SCTLR_EL2")
+	el2(VBAR_EL2, "VBAR_EL2")
+	el2vhe(CONTEXTIDR_EL2, "CONTEXTIDR_EL2")
+	el2vhe(TTBR1_EL2, "TTBR1_EL2")
+	def(CNTHCTL_EL2, RegInfo{Name: "CNTHCTL_EL2", Min: EL2, Device: true})
+	def(CNTVOFF_EL2, RegInfo{Name: "CNTVOFF_EL2", Min: EL2, Device: true})
+	el2(CPTR_EL2, "CPTR_EL2")
+	el2(MDCR_EL2, "MDCR_EL2")
+	el2(TCR_EL2, "TCR_EL2")
+	el2(TTBR0_EL2, "TTBR0_EL2")
+	el2(SP_EL2, "SP_EL2")
+
+	def(CNTHP_CTL_EL2, RegInfo{Name: "CNTHP_CTL_EL2", Min: EL2, Device: true})
+	def(CNTHP_CVAL_EL2, RegInfo{Name: "CNTHP_CVAL_EL2", Min: EL2, Device: true})
+	def(CNTHV_CTL_EL2, RegInfo{Name: "CNTHV_CTL_EL2", Min: EL2, VHEOnly: true, Device: true})
+	def(CNTHV_CVAL_EL2, RegInfo{Name: "CNTHV_CVAL_EL2", Min: EL2, VHEOnly: true, Device: true})
+
+	el2(ICH_HCR_EL2, "ICH_HCR_EL2")
+	def(ICH_VTR_EL2, RegInfo{Name: "ICH_VTR_EL2", Min: EL2, ReadOnly: true})
+	el2(ICH_VMCR_EL2, "ICH_VMCR_EL2")
+	def(ICH_MISR_EL2, RegInfo{Name: "ICH_MISR_EL2", Min: EL2, ReadOnly: true})
+	def(ICH_EISR_EL2, RegInfo{Name: "ICH_EISR_EL2", Min: EL2, ReadOnly: true})
+	def(ICH_ELRSR_EL2, RegInfo{Name: "ICH_ELRSR_EL2", Min: EL2, ReadOnly: true})
+	for i := 0; i < 4; i++ {
+		def(ICH_AP0R0_EL2+SysReg(i), RegInfo{Name: fmt.Sprintf("ICH_AP0R%d_EL2", i), Min: EL2})
+		def(ICH_AP1R0_EL2+SysReg(i), RegInfo{Name: fmt.Sprintf("ICH_AP1R%d_EL2", i), Min: EL2})
+	}
+	for i := 0; i < 16; i++ {
+		def(ICH_LR0_EL2+SysReg(i), RegInfo{Name: fmt.Sprintf("ICH_LR%d_EL2", i), Min: EL2})
+	}
+
+	el12(SCTLR_EL12, "SCTLR_EL12", SCTLR_EL1)
+	el12(TTBR0_EL12, "TTBR0_EL12", TTBR0_EL1)
+	el12(TTBR1_EL12, "TTBR1_EL12", TTBR1_EL1)
+	el12(TCR_EL12, "TCR_EL12", TCR_EL1)
+	el12(MAIR_EL12, "MAIR_EL12", MAIR_EL1)
+	el12(AMAIR_EL12, "AMAIR_EL12", AMAIR_EL1)
+	el12(AFSR0_EL12, "AFSR0_EL12", AFSR0_EL1)
+	el12(AFSR1_EL12, "AFSR1_EL12", AFSR1_EL1)
+	el12(CONTEXTIDR_EL12, "CONTEXTIDR_EL12", CONTEXTIDR_EL1)
+	el12(CPACR_EL12, "CPACR_EL12", CPACR_EL1)
+	el12(ELR_EL12, "ELR_EL12", ELR_EL1)
+	el12(ESR_EL12, "ESR_EL12", ESR_EL1)
+	el12(FAR_EL12, "FAR_EL12", FAR_EL1)
+	el12(SPSR_EL12, "SPSR_EL12", SPSR_EL1)
+	el12(VBAR_EL12, "VBAR_EL12", VBAR_EL1)
+	el12(CNTKCTL_EL12, "CNTKCTL_EL12", CNTKCTL_EL1)
+
+	// The EL02 timer encodings are device registers like their targets.
+	def(CNTP_CTL_EL02, RegInfo{Name: "CNTP_CTL_EL02", Min: EL2, VHEOnly: true, Alias: CNTP_CTL_EL0, Device: true})
+	def(CNTP_CVAL_EL02, RegInfo{Name: "CNTP_CVAL_EL02", Min: EL2, VHEOnly: true, Alias: CNTP_CVAL_EL0, Device: true})
+	def(CNTV_CTL_EL02, RegInfo{Name: "CNTV_CTL_EL02", Min: EL2, VHEOnly: true, Alias: CNTV_CTL_EL0, Device: true})
+	def(CNTV_CVAL_EL02, RegInfo{Name: "CNTV_CVAL_EL02", Min: EL2, VHEOnly: true, Alias: CNTV_CVAL_EL0, Device: true})
+
+	for r := RegInvalid + 1; r < numSysRegs; r++ {
+		if regInfo[r].Name == "" {
+			panic(fmt.Sprintf("arm: register id %d has no definition", uint16(r)))
+		}
+	}
+}

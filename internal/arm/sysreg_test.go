@@ -1,0 +1,184 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	seen := map[string]SysReg{}
+	for _, r := range AllRegs() {
+		info := Info(r)
+		if info.Name == "" {
+			t.Fatalf("register %d unnamed", r)
+		}
+		if prev, dup := seen[info.Name]; dup {
+			t.Errorf("name %s used by %d and %d", info.Name, prev, r)
+		}
+		seen[info.Name] = r
+		if r.String() != info.Name {
+			t.Errorf("String(%d) = %q, want %q", r, r.String(), info.Name)
+		}
+	}
+	if len(seen) != NumSysRegs-1 {
+		t.Errorf("registry has %d names, want %d", len(seen), NumSysRegs-1)
+	}
+}
+
+func TestE2HTargetsAreEL2Registers(t *testing.T) {
+	// VHE redirection (Section 2) maps EL1 access instructions to the EL2
+	// registers added for VHE; targets must be EL2 registers and sources
+	// EL1 registers.
+	for _, r := range AllRegs() {
+		info := Info(r)
+		if info.E2H == RegInvalid {
+			continue
+		}
+		if info.Min != EL1 {
+			t.Errorf("%s has an E2H target but is not an EL1 register", r)
+		}
+		if Info(info.E2H).Min != EL2 {
+			t.Errorf("%s redirects to %s, which is not an EL2 register", r, info.E2H)
+		}
+	}
+}
+
+func TestAliasesResolveToConcreteRegisters(t *testing.T) {
+	for _, r := range AllRegs() {
+		info := Info(r)
+		if info.Alias == RegInvalid {
+			continue
+		}
+		target := Info(info.Alias)
+		if target.Alias != RegInvalid {
+			t.Errorf("%s aliases %s, itself an alias", r, info.Alias)
+		}
+		if !info.VHEOnly {
+			t.Errorf("alias encoding %s not marked VHE-only", r)
+		}
+		if !strings.Contains(info.Name, "_EL12") && !strings.Contains(info.Name, "_EL02") {
+			t.Errorf("alias encoding %s has unexpected name", r)
+		}
+	}
+}
+
+func TestEL12EncodingsCoverVMExecutionControl(t *testing.T) {
+	// Every Table 3 EL1 register with a VHE access encoding must alias the
+	// right target.
+	pairs := map[SysReg]SysReg{
+		SCTLR_EL12: SCTLR_EL1, TTBR0_EL12: TTBR0_EL1, TTBR1_EL12: TTBR1_EL1,
+		TCR_EL12: TCR_EL1, MAIR_EL12: MAIR_EL1, AMAIR_EL12: AMAIR_EL1,
+		AFSR0_EL12: AFSR0_EL1, AFSR1_EL12: AFSR1_EL1,
+		CONTEXTIDR_EL12: CONTEXTIDR_EL1, CPACR_EL12: CPACR_EL1,
+		ELR_EL12: ELR_EL1, ESR_EL12: ESR_EL1, FAR_EL12: FAR_EL1,
+		SPSR_EL12: SPSR_EL1, VBAR_EL12: VBAR_EL1, CNTKCTL_EL12: CNTKCTL_EL1,
+		CNTV_CTL_EL02: CNTV_CTL_EL0, CNTV_CVAL_EL02: CNTV_CVAL_EL0,
+		CNTP_CTL_EL02: CNTP_CTL_EL0, CNTP_CVAL_EL02: CNTP_CVAL_EL0,
+	}
+	for enc, target := range pairs {
+		if got := Info(enc).Alias; got != target {
+			t.Errorf("%s aliases %s, want %s", enc, got, target)
+		}
+	}
+}
+
+func TestICHLRHelpers(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		r := ICHLR(i)
+		if !IsICHLR(r) {
+			t.Errorf("ICHLR(%d) = %s not recognized as list register", i, r)
+		}
+	}
+	if IsICHLR(ICH_HCR_EL2) || IsICHLR(SCTLR_EL1) {
+		t.Error("IsICHLR false positives")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ICHLR(16) did not panic")
+		}
+	}()
+	ICHLR(16)
+}
+
+func TestInfoPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Info(RegInvalid) did not panic")
+		}
+	}()
+	Info(RegInvalid)
+}
+
+func TestInvalidStringDoesNotPanic(t *testing.T) {
+	if s := RegInvalid.String(); !strings.Contains(s, "0") {
+		t.Errorf("RegInvalid.String() = %q", s)
+	}
+	if s := SysReg(60000).String(); !strings.Contains(s, "60000") {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}
+
+func TestFeatureLevels(t *testing.T) {
+	if f := FeaturesV80(); f.VHE || f.NV || f.NV2 {
+		t.Errorf("v8.0 = %+v", f)
+	}
+	if f := FeaturesV81(); !f.VHE || f.NV {
+		t.Errorf("v8.1 = %+v", f)
+	}
+	if f := FeaturesV83(); !f.VHE || !f.NV || f.NV2 {
+		t.Errorf("v8.3 = %+v", f)
+	}
+	if f := FeaturesV84(); !f.VHE || !f.NV || !f.NV2 {
+		t.Errorf("v8.4 = %+v", f)
+	}
+}
+
+func TestELString(t *testing.T) {
+	if EL0.String() != "EL0" || EL2.String() != "EL2" {
+		t.Error("EL strings wrong")
+	}
+	if !strings.Contains(EL(7).String(), "7") {
+		t.Error("invalid EL string")
+	}
+}
+
+func TestCostModelAnchors(t *testing.T) {
+	// The calibration anchors from the paper's Section 5: trap entry in
+	// the 68-76 cycle band, eret at 65, trapped access interchangeable
+	// with hvc.
+	c := DefaultCosts()
+	if c.TrapEnter < 68 || c.TrapEnter > 76 {
+		t.Errorf("TrapEnter = %d, want 68..76 (paper Section 5)", c.TrapEnter)
+	}
+	if c.TrapReturn != 65 {
+		t.Errorf("TrapReturn = %d, want 65", c.TrapReturn)
+	}
+	if c.SysRegVNCR >= c.TrapEnter {
+		t.Error("a deferred access must be far cheaper than a trap")
+	}
+	if c.Insn != 1 {
+		t.Errorf("Insn = %d, want 1", c.Insn)
+	}
+}
+
+func TestUndefErrorMessages(t *testing.T) {
+	e := &UndefError{Reg: HCR_EL2, EL: EL1}
+	if !strings.Contains(e.Error(), "HCR_EL2") || !strings.Contains(e.Error(), "EL1") {
+		t.Errorf("UndefError = %q", e.Error())
+	}
+	e2 := &UndefError{What: "ERET without FEAT_NV", EL: EL1}
+	if !strings.Contains(e2.Error(), "ERET") {
+		t.Errorf("UndefError = %q", e2.Error())
+	}
+}
+
+func TestECStrings(t *testing.T) {
+	for ec, want := range map[EC]string{
+		ECHVC64: "hvc", ECSysReg: "sysreg", ECERet: "eret",
+		ECDAbtLow: "dabt", ECVirtIRQ: "irq", ECWFx: "wfx",
+	} {
+		if ec.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(ec), ec.String(), want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nevesim/neve/internal/core"
+	"github.com/nevesim/neve/internal/kvm"
+)
+
+// Ablation experiments: attribute NEVE's win to its three mechanisms
+// (Section 6 — deferral to the deferred access page, register redirection,
+// cached copies), and evaluate the optimized VHE hypervisor design the
+// paper projects could trap even less than x86 (Section 7.1, citing Dall
+// et al. [16]).
+
+// AblationVariant selects which NEVE mechanisms are active.
+type AblationVariant struct {
+	Name   string
+	Engine core.Engine
+}
+
+// AblationVariants returns the mechanism subsets, from nothing to full
+// NEVE.
+func AblationVariants() []AblationVariant {
+	all := core.Engine{DisableDefer: true, DisableRedirect: true, DisableCached: true}
+	return []AblationVariant{
+		{"ARMv8.3 (no NEVE)", all},
+		{"deferral only", core.Engine{DisableRedirect: true, DisableCached: true}},
+		{"redirection only", core.Engine{DisableDefer: true, DisableCached: true}},
+		{"cached copies only", core.Engine{DisableDefer: true, DisableRedirect: true}},
+		{"deferral + redirection", core.Engine{DisableCached: true}},
+		{"full NEVE", core.Engine{}},
+	}
+}
+
+// AblationResult is one mechanism subset's measured hypercall cost.
+type AblationResult struct {
+	Variant string
+	VHE     bool
+	Cycles  uint64
+	Traps   uint64
+}
+
+// RunAblation measures a nested hypercall under every mechanism subset.
+func RunAblation(vhe bool) []AblationResult {
+	var out []AblationResult
+	for _, v := range AblationVariants() {
+		engine := v.Engine
+		s := kvm.NewNestedStack(kvm.StackOptions{
+			GuestVHE:     vhe,
+			GuestNEVE:    true,
+			NEVEAblation: &engine,
+		})
+		var cycles uint64
+		s.RunGuest(0, func(g *kvm.GuestCtx) {
+			g.Hypercall()
+			s.M.Trace.Reset()
+			before := g.CPU.Cycles()
+			g.Hypercall()
+			cycles = g.CPU.Cycles() - before
+		})
+		out = append(out, AblationResult{Variant: v.Name, VHE: vhe, Cycles: cycles, Traps: s.M.Trace.Total()})
+	}
+	return out
+}
+
+// FormatAblation renders the mechanism attribution table.
+func FormatAblation(results []AblationResult) string {
+	var b strings.Builder
+	b.WriteString("NEVE mechanism ablation: nested hypercall cost by enabled mechanism (Section 6)\n")
+	fmt.Fprintf(&b, "%-26s %-6s %12s %8s\n", "Mechanisms", "VHE", "cycles", "traps")
+	for _, r := range results {
+		vhe := "no"
+		if r.VHE {
+			vhe = "yes"
+		}
+		fmt.Fprintf(&b, "%-26s %-6s %12s %8d\n", r.Variant, vhe, fmtN(r.Cycles), r.Traps)
+	}
+	return b.String()
+}
+
+// OptimizedVHEResult is the optimized-hypervisor extension measurement.
+type OptimizedVHEResult struct {
+	Config string
+	Cycles uint64
+	Traps  uint64
+}
+
+// RunOptimizedVHE measures the optimized VHE guest hypervisor (context
+// switching deferred to vcpu_load/put) with and without NEVE, against the
+// x86 baseline.
+func RunOptimizedVHE() []OptimizedVHEResult {
+	var out []OptimizedVHEResult
+	measure := func(name string, opts kvm.StackOptions) {
+		s := kvm.NewNestedStack(opts)
+		var cycles uint64
+		s.RunGuest(0, func(g *kvm.GuestCtx) {
+			g.Hypercall()
+			s.M.Trace.Reset()
+			before := g.CPU.Cycles()
+			g.Hypercall()
+			cycles = g.CPU.Cycles() - before
+		})
+		out = append(out, OptimizedVHEResult{Config: name, Cycles: cycles, Traps: s.M.Trace.Total()})
+	}
+	measure("VHE (KVM 4.10 design)", kvm.StackOptions{GuestVHE: true, GuestNEVE: true})
+	measure("optimized VHE", kvm.StackOptions{GuestVHE: true, GuestNEVE: true, GuestOptimized: true})
+	cyc, traps := RunMicro(X86Nested, Hypercall)
+	out = append(out, OptimizedVHEResult{Config: "x86 (VMCS shadowing)", Cycles: cyc, Traps: traps})
+	return out
+}
+
+// FormatOptimizedVHE renders the extension table.
+func FormatOptimizedVHE(results []OptimizedVHEResult) string {
+	var b strings.Builder
+	b.WriteString("Optimized VHE guest hypervisor with NEVE (Section 7.1 projection):\n")
+	b.WriteString("nested hypercall, traps to the host hypervisor\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-26s %10s cycles  %4d traps\n", r.Config, fmtN(r.Cycles), r.Traps)
+	}
+	b.WriteString("(the paper: a more optimized VHE guest hypervisor \"could potentially\n")
+	b.WriteString(" reduce the number of traps to the host hypervisor to even less than x86\")\n")
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAttribution(t *testing.T) {
+	results := RunAblation(false)
+	get := func(name string) AblationResult {
+		for _, r := range results {
+			if r.Variant == name {
+				return r
+			}
+		}
+		t.Fatalf("variant %q missing", name)
+		return AblationResult{}
+	}
+	none := get("ARMv8.3 (no NEVE)")
+	deferral := get("deferral only")
+	redirect := get("redirection only")
+	cached := get("cached copies only")
+	full := get("full NEVE")
+
+	// With all mechanisms disabled the NEVE stack degenerates to ARMv8.3.
+	if none.Traps != 126 {
+		t.Errorf("all-disabled traps = %d, want 126 (ARMv8.3)", none.Traps)
+	}
+	if full.Traps != 15 {
+		t.Errorf("full NEVE traps = %d, want 15", full.Traps)
+	}
+	// Deferral to the deferred access page is the dominant mechanism: the
+	// EL1 context and VM trap-control accesses dwarf the rest (Table 3 has
+	// 27+ registers vs Table 4's 12 redirects).
+	if deferral.Traps >= redirect.Traps || deferral.Traps >= cached.Traps {
+		t.Errorf("deferral (%d traps) not dominant vs redirection (%d) / cached (%d)",
+			deferral.Traps, redirect.Traps, cached.Traps)
+	}
+	// Each mechanism alone must help, and the full set must beat any
+	// subset.
+	for _, r := range results {
+		if r.Variant == "ARMv8.3 (no NEVE)" {
+			continue
+		}
+		if r.Traps >= none.Traps {
+			t.Errorf("%s: traps %d did not improve on ARMv8.3's %d", r.Variant, r.Traps, none.Traps)
+		}
+		if r.Variant != "full NEVE" && r.Traps < full.Traps {
+			t.Errorf("%s: traps %d below full NEVE's %d", r.Variant, r.Traps, full.Traps)
+		}
+	}
+	if s := FormatAblation(results); !strings.Contains(s, "full NEVE") {
+		t.Error("FormatAblation missing variants")
+	}
+}
+
+func TestOptimizedVHEBeatsX86(t *testing.T) {
+	results := RunOptimizedVHE()
+	var opt, x86, plain *OptimizedVHEResult
+	for i := range results {
+		switch {
+		case strings.HasPrefix(results[i].Config, "optimized"):
+			opt = &results[i]
+		case strings.HasPrefix(results[i].Config, "x86"):
+			x86 = &results[i]
+		default:
+			plain = &results[i]
+		}
+	}
+	if opt == nil || x86 == nil || plain == nil {
+		t.Fatalf("missing configs: %+v", results)
+	}
+	// The Section 7.1 projection: an optimized VHE guest hypervisor with
+	// NEVE traps less than x86 with VMCS shadowing.
+	if opt.Traps >= x86.Traps {
+		t.Errorf("optimized VHE traps = %d, want below x86's %d", opt.Traps, x86.Traps)
+	}
+	if opt.Traps >= plain.Traps {
+		t.Errorf("optimized VHE traps = %d, want below the 4.10 design's %d", opt.Traps, plain.Traps)
+	}
+	if s := FormatOptimizedVHE(results); !strings.Contains(s, "optimized VHE") {
+		t.Error("FormatOptimizedVHE missing rows")
+	}
+}

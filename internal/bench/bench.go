@@ -1,0 +1,320 @@
+// Package bench is the experiment harness: it assembles the paper's
+// configurations on the simulated hardware, runs the microbenchmarks and
+// application workloads, and regenerates every evaluation table and figure
+// (Tables 1, 6, 7 and Figure 2).
+package bench
+
+import (
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/workload"
+	"github.com/nevesim/neve/internal/x86"
+)
+
+// ConfigID identifies one evaluated configuration.
+type ConfigID int
+
+const (
+	ARMVM ConfigID = iota
+	ARMNested
+	ARMNestedVHE
+	NEVENested
+	NEVENestedVHE
+	X86VM
+	X86Nested
+	numConfigs
+)
+
+// NumConfigs is the number of evaluated configurations.
+const NumConfigs = int(numConfigs)
+
+func (c ConfigID) String() string {
+	switch c {
+	case ARMVM:
+		return "ARMv8.3 VM"
+	case ARMNested:
+		return "ARMv8.3 Nested"
+	case ARMNestedVHE:
+		return "ARMv8.3 Nested VHE"
+	case NEVENested:
+		return "NEVE Nested"
+	case NEVENestedVHE:
+		return "NEVE Nested VHE"
+	case X86VM:
+		return "x86 VM"
+	case X86Nested:
+		return "x86 Nested"
+	default:
+		return "unknown"
+	}
+}
+
+// AllConfigs returns every configuration in Figure 2's legend order.
+func AllConfigs() []ConfigID {
+	return []ConfigID{ARMVM, ARMNested, ARMNestedVHE, NEVENested, NEVENestedVHE, X86VM, X86Nested}
+}
+
+// IsARM reports whether the configuration runs on the ARM stack.
+func (c ConfigID) IsARM() bool { return c <= NEVENestedVHE }
+
+// IsNested reports whether the configuration runs a nested VM.
+func (c ConfigID) IsNested() bool {
+	return c != ARMVM && c != X86VM
+}
+
+// NICSPI is the shared peripheral interrupt of the synthetic NIC on the
+// ARM machine.
+const NICSPI = 48
+
+// NICVector is the x86 device vector of the synthetic NIC.
+const NICVector = 0x51
+
+// armEnv is one assembled ARM stack with workload adapters.
+type armEnv struct {
+	s *kvm.Stack
+	g *kvm.GuestCtx
+}
+
+var _ workload.Platform = (*armEnv)(nil)
+
+func newARMEnv(id ConfigID, cpus int) *armEnv {
+	opts := kvm.StackOptions{CPUs: cpus}
+	switch id {
+	case ARMNestedVHE:
+		opts.GuestVHE = true
+	case NEVENested:
+		opts.GuestNEVE = true
+	case NEVENestedVHE:
+		opts.GuestVHE = true
+		opts.GuestNEVE = true
+	}
+	var s *kvm.Stack
+	if id == ARMVM {
+		s = kvm.NewVMStack(opts)
+	} else {
+		s = kvm.NewNestedStack(opts)
+	}
+	s.M.Dist.Route(NICSPI, 0)
+	return &armEnv{s: s}
+}
+
+// InjectDeviceIRQ implements workload.Platform.
+func (e *armEnv) InjectDeviceIRQ() {
+	e.s.M.Dist.AssertSPI(NICSPI)
+}
+
+// ServicePeer implements workload.Platform.
+func (e *armEnv) ServicePeer() {
+	if len(e.s.M.CPUs) > 1 {
+		e.s.Host.Service(e.s.M.CPUs[1])
+	}
+}
+
+// HasPeer implements workload.Platform.
+func (e *armEnv) HasPeer() bool { return len(e.s.M.CPUs) > 1 }
+
+// x86Env is one assembled x86 stack with workload adapters.
+type x86Env struct {
+	s *x86.Stack
+	g *x86.GuestCtx
+}
+
+var _ workload.Platform = (*x86Env)(nil)
+
+func newX86Env(id ConfigID, cpus int) *x86Env {
+	s := x86.NewStack(x86.StackOptions{
+		CPUs:      cpus,
+		Nested:    id == X86Nested,
+		Shadowing: true,
+	})
+	return &x86Env{s: s}
+}
+
+// InjectDeviceIRQ implements workload.Platform.
+func (e *x86Env) InjectDeviceIRQ() {
+	e.s.CPUs[0].AssertIRQ(NICVector)
+}
+
+// ServicePeer implements workload.Platform.
+func (e *x86Env) ServicePeer() {
+	if len(e.s.CPUs) > 1 {
+		e.s.Service(1)
+	}
+}
+
+// HasPeer implements workload.Platform.
+func (e *x86Env) HasPeer() bool { return len(e.s.CPUs) > 1 }
+
+// prepPeer loads vCPU 1's innermost guest so it can receive IPIs.
+func (e *armEnv) prepPeer() {
+	if len(e.s.M.CPUs) < 2 {
+		return
+	}
+	if e.s.GuestHyp != nil {
+		e.s.Host.PreparePeerNested(e.s.VM.VCPUs[1])
+		return
+	}
+	e.s.Host.PreparePeerVM(e.s.VM.VCPUs[1])
+}
+
+// RunMicro measures one microbenchmark operation (warm) on configuration
+// id, returning cycles and traps to the host hypervisor.
+func RunMicro(id ConfigID, op MicroOp) (cycles, traps uint64) {
+	const cpus = 2
+	if id.IsARM() {
+		e := newARMEnv(id, cpus)
+		return runMicroARM(e, op)
+	}
+	e := newX86Env(id, cpus)
+	return runMicroX86(e, op)
+}
+
+// MicroOp selects a microbenchmark (Table 1/6/7 rows).
+type MicroOp int
+
+const (
+	Hypercall MicroOp = iota
+	DeviceIO
+	VirtualIPI
+	VirtualEOI
+)
+
+func (m MicroOp) String() string {
+	switch m {
+	case Hypercall:
+		return "Hypercall"
+	case DeviceIO:
+		return "Device I/O"
+	case VirtualIPI:
+		return "Virtual IPI"
+	case VirtualEOI:
+		return "Virtual EOI"
+	default:
+		return "unknown"
+	}
+}
+
+// MicroOps returns all microbenchmarks in table order.
+func MicroOps() []MicroOp { return []MicroOp{Hypercall, DeviceIO, VirtualIPI, VirtualEOI} }
+
+func runMicroARM(e *armEnv, op MicroOp) (cycles, traps uint64) {
+	s := e.s
+	switch op {
+	case Hypercall, DeviceIO:
+		s.RunGuest(0, func(g *kvm.GuestCtx) {
+			f := g.Hypercall
+			if op == DeviceIO {
+				f = func() { g.DeviceRead(0) }
+			}
+			f()
+			s.M.Trace.Reset()
+			before := g.CPU.Cycles()
+			f()
+			cycles = g.CPU.Cycles() - before
+		})
+		traps = s.M.Trace.Total()
+	case VirtualIPI:
+		c0, c1 := s.M.CPUs[0], s.M.CPUs[1]
+		e.prepPeer()
+		const rounds = 3
+		s.RunGuest(0, func(g *kvm.GuestCtx) {
+			for i := 0; i < rounds; i++ {
+				if i == rounds-1 {
+					s.M.Trace.Reset()
+				}
+				b0, b1 := c0.Cycles(), c1.Cycles()
+				g.SendIPI(1, 3)
+				s.Host.Service(c1)
+				cycles = (c0.Cycles() - b0) + (c1.Cycles() - b1)
+			}
+		})
+		traps = s.M.Trace.Total()
+	case VirtualEOI:
+		s.RunGuest(0, func(g *kvm.GuestCtx) {
+			c := g.CPU
+			// Pend and acknowledge a virtual interrupt, then measure the
+			// completion alone (hardware-assisted, no trap in any config).
+			c.SetReg(arm.ICH_LR0_EL2, arm.MakeLR(40, -1))
+			got := c.MRS(arm.ICC_IAR1_EL1)
+			s.M.Trace.Reset()
+			before := c.Cycles()
+			c.MSR(arm.ICC_EOIR1_EL1, got)
+			cycles = c.Cycles() - before
+		})
+		traps = s.M.Trace.Total()
+	}
+	return cycles, traps
+}
+
+func runMicroX86(e *x86Env, op MicroOp) (cycles, traps uint64) {
+	s := e.s
+	switch op {
+	case Hypercall, DeviceIO:
+		s.RunGuest(0, func(g *x86.GuestCtx) {
+			f := g.Hypercall
+			if op == DeviceIO {
+				f = func() { g.DeviceRead(0) }
+			}
+			f()
+			s.Trace.Reset()
+			before := g.CPU.Cycles()
+			f()
+			cycles = g.CPU.Cycles() - before
+		})
+		traps = s.Trace.Total()
+	case VirtualIPI:
+		c0, c1 := s.CPUs[0], s.CPUs[1]
+		s.LoadTarget(1)
+		const rounds = 3
+		s.RunGuest(0, func(g *x86.GuestCtx) {
+			for i := 0; i < rounds; i++ {
+				if i == rounds-1 {
+					s.Trace.Reset()
+				}
+				b0, b1 := c0.Cycles(), c1.Cycles()
+				g.SendIPI(1, 0x41)
+				s.Service(1)
+				cycles = (c0.Cycles() - b0) + (c1.Cycles() - b1)
+			}
+		})
+		traps = s.Trace.Total()
+	case VirtualEOI:
+		s.RunGuest(0, func(g *x86.GuestCtx) {
+			before := g.CPU.Cycles()
+			g.CPU.EOI()
+			cycles = g.CPU.Cycles() - before
+		})
+		traps = 0
+	}
+	return cycles, traps
+}
+
+// RunApp runs one application profile on configuration id and returns its
+// overhead normalized to native execution (Figure 2's y axis) and the raw
+// result.
+func RunApp(id ConfigID, p workload.Profile) (overhead float64, res workload.Result) {
+	if !id.IsARM() {
+		// The x86 servers run the workloads roughly three times faster
+		// than the ARM servers (Section 7.2); external event rates are
+		// set by the clients and the network and do not scale.
+		p = p.Scaled(3)
+	}
+	native := &workload.Native{}
+	nres := p.Run(native, native, native)
+
+	if id.IsARM() {
+		e := newARMEnv(id, 2)
+		e.prepPeer()
+		e.s.RunGuest(0, func(g *kvm.GuestCtx) {
+			res = p.Run(g, g, e)
+		})
+	} else {
+		e := newX86Env(id, 2)
+		e.s.LoadTarget(1)
+		e.s.RunGuest(0, func(g *x86.GuestCtx) {
+			res = p.Run(g, g, e)
+		})
+	}
+	overhead = float64(res.Cycles) / float64(nres.Cycles)
+	return overhead, res
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure2EventsAnomalyVisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweep")
+	}
+	rows := RunFigure2Events([]ConfigID{ARMNested, NEVENested, X86Nested})
+	get := func(w string, c ConfigID) EventRow {
+		for _, r := range rows {
+			if r.Workload == w && r.Config == c {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%s", w, c)
+		return EventRow{}
+	}
+	// The anomaly's event signature on Memcached: ARMv8.3 takes wakeup
+	// IPIs (stalled pipeline); NEVE suppresses notifications effectively;
+	// x86 takes at least as many kicks as NEVE (faster backend).
+	v83 := get("Memcached", ARMNested)
+	nv := get("Memcached", NEVENested)
+	x86 := get("Memcached", X86Nested)
+	if v83.Result.IPIs == 0 {
+		t.Error("ARMv8.3 Memcached has no wakeup IPIs")
+	}
+	if nv.Result.IPIs != 0 {
+		t.Errorf("NEVE Memcached sent %d wakeups, want 0", nv.Result.IPIs)
+	}
+	if x86.Result.Kicks < nv.Result.Kicks {
+		t.Errorf("x86 kicks (%d) below NEVE's (%d): anomaly signature lost",
+			x86.Result.Kicks, nv.Result.Kicks)
+	}
+	if s := FormatFigure2Events(rows); !strings.Contains(s, "Memcached") {
+		t.Error("FormatFigure2Events missing rows")
+	}
+}

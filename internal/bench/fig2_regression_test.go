@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/workload"
+)
+
+// Regression bands for Figure 2: the measured overheads at the time the
+// model was calibrated, with ±25% bands. A change to the world-switch
+// sequences, cost model, or workload profiles that moves a cell outside
+// its band is a behavioral change that must be re-justified against the
+// paper.
+var fig2Baseline = map[string]map[ConfigID]float64{
+	"kernbench":   {ARMNested: 1.30, NEVENested: 1.07, X86Nested: 1.07},
+	"hackbench":   {ARMNested: 12.2, NEVENested: 3.7, X86Nested: 3.7},
+	"SPECjvm2008": {ARMNested: 1.13, NEVENested: 1.03, X86Nested: 1.03},
+	"TCP_RR":      {ARMNested: 28.7, NEVENested: 7.8, X86Nested: 5.3},
+	"TCP_STREAM":  {ARMNested: 6.0, NEVENested: 2.6, X86Nested: 2.2},
+	"TCP_MAERTS":  {ARMNested: 43.1, NEVENested: 3.4, X86Nested: 3.6},
+	"Apache":      {ARMNested: 28.8, NEVENested: 4.1, X86Nested: 4.9},
+	"Nginx":       {ARMNested: 21.6, NEVENested: 5.1, X86Nested: 4.6},
+	"Memcached":   {ARMNested: 48.8, NEVENested: 4.5, X86Nested: 7.1},
+	"MySQL":       {ARMNested: 9.1, NEVENested: 2.4, X86Nested: 2.1},
+}
+
+func TestFigure2Regression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application sweep")
+	}
+	for _, p := range workload.Profiles() {
+		base, ok := fig2Baseline[p.Name]
+		if !ok {
+			t.Errorf("no baseline for %s", p.Name)
+			continue
+		}
+		for cfg, want := range base {
+			got, _ := RunApp(cfg, p)
+			// Overheads compare as (overhead - 1): the virtualization cost.
+			lo, hi := (want-1)*0.75, (want-1)*1.25
+			if d := got - 1; d < lo || d > hi {
+				t.Errorf("%s/%s overhead = %.2fx, baseline %.2fx (band %.2f..%.2f)",
+					p.Name, cfg, got, want, lo+1, hi+1)
+			}
+		}
+	}
+}

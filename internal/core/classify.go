@@ -1,0 +1,258 @@
+// Package core implements NEVE, the Nested Virtualization Extensions for
+// ARM proposed by the paper (Section 6; adopted as FEAT_NV2 in ARMv8.4).
+//
+// NEVE observes that most system registers a guest hypervisor accesses do
+// not have an immediate effect on its own execution: VM registers merely
+// prepare hardware state for a later context switch. NEVE therefore
+// coalesces and defers the traps that ARMv8.3 would take on every access:
+//
+//   - VM system registers (Table 3) are transparently rewritten into loads
+//     and stores on a deferred access page in normal memory, addressed by
+//     the new VNCR_EL2 register;
+//   - hypervisor control registers with format-compatible EL1 counterparts
+//     (Table 4) are redirected to those EL1 registers, which is correct
+//     precisely because the guest hypervisor really runs in EL1;
+//   - the remaining control registers keep a cached copy in the deferred
+//     access page so reads avoid traps, and only writes trap.
+//
+// The Engine type plugs into the CPU model's NV2 hook, playing the role of
+// the proposed hardware logic.
+package core
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/arm"
+)
+
+// Treatment is NEVE's handling of one system register accessed from virtual
+// EL2, per Tables 3-5 of the paper.
+type Treatment int
+
+const (
+	// TreatTrap: NEVE does not cover the register; the ARMv8.3 trap is
+	// taken (EL2 timers, whose reads must observe hardware-updated values).
+	TreatTrap Treatment = iota
+	// TreatVNCR: reads and writes are rewritten to the deferred access
+	// page (Table 3 "VM system registers").
+	TreatVNCR
+	// TreatRedirect: accesses are redirected to the corresponding EL1
+	// register (Table 4 "Redirect to *_EL1").
+	TreatRedirect
+	// TreatTrapOnWrite: reads come from a cached copy in the deferred
+	// access page; writes trap so the host hypervisor can apply them
+	// (Table 4/5 "Trap on write").
+	TreatTrapOnWrite
+	// TreatRedirectOrTrap: redirect to the EL1 register for VHE guest
+	// hypervisors (identical formats); cached-read/trapped-write otherwise
+	// (Table 4, TCR_EL2 and TTBR0_EL2).
+	TreatRedirectOrTrap
+)
+
+func (t Treatment) String() string {
+	switch t {
+	case TreatTrap:
+		return "trap"
+	case TreatVNCR:
+		return "deferred-page"
+	case TreatRedirect:
+		return "redirect-el1"
+	case TreatTrapOnWrite:
+		return "trap-on-write"
+	case TreatRedirectOrTrap:
+		return "redirect-or-trap"
+	default:
+		return fmt.Sprintf("treatment(%d)", int(t))
+	}
+}
+
+// Class groups registers the way the paper's tables do, for reporting.
+type Class int
+
+const (
+	ClassNone Class = iota
+	// Table 3 groups.
+	ClassVMTrapControl
+	ClassVMExecControl
+	ClassThreadID
+	ClassVMExtra // VNCR-mapped context KVM switches; omitted from Table 3 for space
+	// Table 4 groups.
+	ClassHypRedirect
+	ClassHypRedirectVHE
+	ClassHypTrapOnWrite
+	ClassHypRedirectOrTrap
+	// Table 5.
+	ClassGICHyp
+	// Section 6.1 closing paragraph.
+	ClassDebugPMU
+	ClassTimer
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassVMTrapControl:
+		return "VM Trap Control"
+	case ClassVMExecControl:
+		return "VM Execution Control"
+	case ClassThreadID:
+		return "Thread ID"
+	case ClassVMExtra:
+		return "VM Context (ARMv8.4 addition)"
+	case ClassHypRedirect:
+		return "Redirect to *_EL1"
+	case ClassHypRedirectVHE:
+		return "Redirect to *_EL1 (VHE)"
+	case ClassHypTrapOnWrite:
+		return "Trap on write"
+	case ClassHypRedirectOrTrap:
+		return "Redirect or trap"
+	case ClassGICHyp:
+		return "GIC Hypervisor Control"
+	case ClassDebugPMU:
+		return "Debug and PMU"
+	case ClassTimer:
+		return "Hypervisor Timer"
+	default:
+		return "unclassified"
+	}
+}
+
+// Rule is the NEVE policy for one register.
+type Rule struct {
+	Reg       arm.SysReg
+	Class     Class
+	Treatment Treatment
+	// Redirect is the EL1 target for redirect treatments.
+	Redirect arm.SysReg
+	// VNCROffset is the register's slot in the deferred access page, or -1.
+	VNCROffset int
+}
+
+var (
+	rules   [arm.NumSysRegs]Rule
+	ordered []arm.SysReg
+	nextOff int
+)
+
+// RuleFor returns the NEVE policy for r. Registers without an explicit rule
+// trap (zero Rule with TreatTrap).
+func RuleFor(r arm.SysReg) Rule { return rules[r] }
+
+// Rules returns all registers with explicit NEVE rules in definition order
+// (the order of the paper's tables), for cmd/sysregs and tests.
+func Rules() []Rule {
+	out := make([]Rule, 0, len(ordered))
+	for _, r := range ordered {
+		out = append(out, rules[r])
+	}
+	return out
+}
+
+// VNCROffset returns the deferred-access-page offset for r, or -1 if r is
+// not stored in the page.
+func VNCROffset(r arm.SysReg) int {
+	if rules[r].Reg == arm.RegInvalid {
+		return -1
+	}
+	return rules[r].VNCROffset
+}
+
+func addRule(r arm.SysReg, class Class, t Treatment, redirect arm.SysReg, inPage bool) {
+	if rules[r].Reg != arm.RegInvalid {
+		panic("core: duplicate NEVE rule for " + r.String())
+	}
+	off := -1
+	if inPage {
+		off = nextOff
+		nextOff += 8
+	}
+	rules[r] = Rule{Reg: r, Class: class, Treatment: t, Redirect: redirect, VNCROffset: off}
+	ordered = append(ordered, r)
+}
+
+func init() {
+	vncr := func(class Class, regs ...arm.SysReg) {
+		for _, r := range regs {
+			addRule(r, class, TreatVNCR, arm.RegInvalid, true)
+		}
+	}
+	redirect := func(class Class, pairs ...[2]arm.SysReg) {
+		for _, p := range pairs {
+			addRule(p[0], class, TreatRedirect, p[1], false)
+		}
+	}
+	trapWrite := func(class Class, regs ...arm.SysReg) {
+		for _, r := range regs {
+			addRule(r, class, TreatTrapOnWrite, arm.RegInvalid, true)
+		}
+	}
+
+	// Table 3: VM system registers, rewritten to the deferred access page.
+	vncr(ClassVMTrapControl,
+		arm.HACR_EL2, arm.HCR_EL2, arm.HPFAR_EL2, arm.HSTR_EL2,
+		arm.VMPIDR_EL2, arm.VNCR_EL2, arm.VPIDR_EL2, arm.VTCR_EL2,
+		arm.VTTBR_EL2)
+	vncr(ClassVMExecControl,
+		arm.AFSR0_EL1, arm.AFSR1_EL1, arm.AMAIR_EL1, arm.CONTEXTIDR_EL1,
+		arm.CPACR_EL1, arm.ELR_EL1, arm.ESR_EL1, arm.FAR_EL1,
+		arm.MAIR_EL1, arm.SCTLR_EL1, arm.SP_EL1, arm.SPSR_EL1,
+		arm.TCR_EL1, arm.TTBR0_EL1, arm.TTBR1_EL1, arm.VBAR_EL1)
+	vncr(ClassThreadID, arm.TPIDR_EL2)
+	// Additional VNCR-mapped VM context per the final ARMv8.4 FEAT_NV2
+	// specification (the paper's Table 3 omits these for space).
+	vncr(ClassVMExtra,
+		arm.PAR_EL1, arm.TPIDR_EL1, arm.CNTKCTL_EL1, arm.ACTLR_EL1,
+		arm.CSSELR_EL1)
+
+	// Table 4: hypervisor control registers.
+	redirect(ClassHypRedirect,
+		[2]arm.SysReg{arm.AFSR0_EL2, arm.AFSR0_EL1},
+		[2]arm.SysReg{arm.AFSR1_EL2, arm.AFSR1_EL1},
+		[2]arm.SysReg{arm.AMAIR_EL2, arm.AMAIR_EL1},
+		[2]arm.SysReg{arm.ELR_EL2, arm.ELR_EL1},
+		[2]arm.SysReg{arm.ESR_EL2, arm.ESR_EL1},
+		[2]arm.SysReg{arm.FAR_EL2, arm.FAR_EL1},
+		[2]arm.SysReg{arm.SPSR_EL2, arm.SPSR_EL1},
+		[2]arm.SysReg{arm.MAIR_EL2, arm.MAIR_EL1},
+		[2]arm.SysReg{arm.SCTLR_EL2, arm.SCTLR_EL1},
+		[2]arm.SysReg{arm.VBAR_EL2, arm.VBAR_EL1},
+	)
+	redirect(ClassHypRedirectVHE,
+		[2]arm.SysReg{arm.CONTEXTIDR_EL2, arm.CONTEXTIDR_EL1},
+		[2]arm.SysReg{arm.TTBR1_EL2, arm.TTBR1_EL1},
+	)
+	trapWrite(ClassHypTrapOnWrite,
+		arm.CNTHCTL_EL2, arm.CNTVOFF_EL2, arm.CPTR_EL2, arm.MDCR_EL2)
+	addRule(arm.TCR_EL2, ClassHypRedirectOrTrap, TreatRedirectOrTrap, arm.TCR_EL1, true)
+	addRule(arm.TTBR0_EL2, ClassHypRedirectOrTrap, TreatRedirectOrTrap, arm.TTBR0_EL1, true)
+
+	// Table 5: GIC hypervisor control interface: cached copies for all,
+	// trapping on writes so the host hypervisor can sanitize and shadow
+	// the payloads (Section 4, interrupt virtualization).
+	gic := []arm.SysReg{
+		arm.ICH_HCR_EL2, arm.ICH_VTR_EL2, arm.ICH_VMCR_EL2,
+		arm.ICH_MISR_EL2, arm.ICH_EISR_EL2, arm.ICH_ELRSR_EL2,
+	}
+	for i := 0; i < 4; i++ {
+		gic = append(gic, arm.ICH_AP0R0_EL2+arm.SysReg(i))
+	}
+	for i := 0; i < 4; i++ {
+		gic = append(gic, arm.ICH_AP1R0_EL2+arm.SysReg(i))
+	}
+	for i := 0; i < 16; i++ {
+		gic = append(gic, arm.ICH_LR0_EL2+arm.SysReg(i))
+	}
+	trapWrite(ClassGICHyp, gic...)
+
+	// Section 6.1, closing paragraph: PMU registers defer like VM system
+	// registers; the debug control register uses a cached copy; the EL2
+	// timers always trap because reads must see hardware-updated values.
+	vncr(ClassDebugPMU, arm.PMUSERENR_EL0, arm.PMSELR_EL0)
+	trapWrite(ClassDebugPMU, arm.MDSCR_EL1)
+	for _, r := range []arm.SysReg{
+		arm.CNTHP_CTL_EL2, arm.CNTHP_CVAL_EL2,
+		arm.CNTHV_CTL_EL2, arm.CNTHV_CVAL_EL2,
+	} {
+		addRule(r, ClassTimer, TreatTrap, arm.RegInvalid, false)
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+type countHandler struct{ traps []arm.Exception }
+
+func (h *countHandler) HandleTrap(c *arm.CPU, e *arm.Exception) uint64 {
+	h.traps = append(h.traps, *e)
+	return 0
+}
+
+// newGuestHypCPU builds a v8.4 CPU deprivileged to EL1 as a guest
+// hypervisor with NEVE enabled and a deferred access page allocated.
+func newGuestHypCPU(t *testing.T, extraHCR uint64) (*arm.CPU, *countHandler, Page) {
+	t.Helper()
+	m := mem.New(0)
+	c := arm.NewCPU(0, m, arm.FeaturesV84())
+	h := &countHandler{}
+	c.Vector = h
+	c.Trace = trace.NewCollector(false)
+	c.NV2 = Engine{}
+	page := Page{Base: m.AllocPage()}
+	c.SetReg(arm.VNCR_EL2, MakeVNCR(page.Base, true))
+	c.SetReg(arm.HCR_EL2, arm.HCRNV|arm.HCRNV2|extraHCR)
+	// Deprivilege: run subsequent accesses from EL1 as a guest hypervisor.
+	c.RunGuest(1, func() {})
+	// RunGuest returns to EL2; tests instead drive guest code through it.
+	return c, h, page
+}
+
+// atEL1 runs fn as deprivileged guest hypervisor code.
+func atEL1(c *arm.CPU, fn func()) { c.RunGuest(1, fn) }
+
+func TestVNCRFieldRoundTrip(t *testing.T) {
+	v := MakeVNCR(0x40000, true)
+	if !Enabled(v) {
+		t.Fatal("Enable bit lost")
+	}
+	if BAddr(v) != 0x40000 {
+		t.Fatalf("BADDR = %#x", uint64(BAddr(v)))
+	}
+	if Enabled(MakeVNCR(0x40000, false)) {
+		t.Fatal("disabled VNCR reports enabled")
+	}
+}
+
+func TestMakeVNCRRequiresAlignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned BADDR accepted")
+		}
+	}()
+	MakeVNCR(0x40008, true)
+}
+
+func TestVMRegisterAccessGoesToPage(t *testing.T) {
+	c, h, page := newGuestHypCPU(t, arm.HCRNV1)
+	atEL1(c, func() {
+		c.MSR(arm.VTTBR_EL2, 0x1111) // EL2 VM trap control register
+		c.MSR(arm.SCTLR_EL1, 0x2222) // EL1 VM execution control (via NV1)
+		c.MSR(arm.TPIDR_EL2, 0x3333) // thread ID register
+		if got := c.MRS(arm.VTTBR_EL2); got != 0x1111 {
+			t.Errorf("VTTBR_EL2 readback = %#x", got)
+		}
+	})
+	if len(h.traps) != 0 {
+		t.Fatalf("traps = %+v, want none", h.traps)
+	}
+	if got := c.Mem.MustRead64(page.Slot(arm.VTTBR_EL2)); got != 0x1111 {
+		t.Fatalf("page slot VTTBR = %#x", got)
+	}
+	if got := c.Mem.MustRead64(page.Slot(arm.SCTLR_EL1)); got != 0x2222 {
+		t.Fatalf("page slot SCTLR_EL1 = %#x", got)
+	}
+	if got := c.Mem.MustRead64(page.Slot(arm.TPIDR_EL2)); got != 0x3333 {
+		t.Fatalf("page slot TPIDR_EL2 = %#x", got)
+	}
+	// The hardware registers are untouched: the accesses were deferred.
+	if c.Reg(arm.VTTBR_EL2) != 0 || c.Reg(arm.SCTLR_EL1) != 0 {
+		t.Fatal("deferred access leaked into hardware register")
+	}
+}
+
+func TestHypControlRedirectsToEL1(t *testing.T) {
+	c, h, _ := newGuestHypCPU(t, 0)
+	atEL1(c, func() {
+		c.MSR(arm.VBAR_EL2, 0xffff000012340000)
+		if got := c.MRS(arm.VBAR_EL2); got != 0xffff000012340000 {
+			t.Errorf("VBAR_EL2 readback = %#x", got)
+		}
+	})
+	if len(h.traps) != 0 {
+		t.Fatalf("traps = %+v, want none", h.traps)
+	}
+	// Redirected into the hardware EL1 register: exceptions to the guest
+	// hypervisor (really at EL1) will use the right vector (Section 6).
+	if got := c.Reg(arm.VBAR_EL1); got != 0xffff000012340000 {
+		t.Fatalf("VBAR_EL1 = %#x", got)
+	}
+}
+
+func TestTrapOnWriteCachedRead(t *testing.T) {
+	c, h, page := newGuestHypCPU(t, 0)
+	// Host hypervisor caches the current value in the page.
+	c.Mem.MustWrite64(page.Slot(arm.CPTR_EL2), 0x33ff)
+	atEL1(c, func() {
+		if got := c.MRS(arm.CPTR_EL2); got != 0x33ff {
+			t.Errorf("cached CPTR_EL2 read = %#x", got)
+		}
+	})
+	if len(h.traps) != 0 {
+		t.Fatalf("read trapped: %+v", h.traps)
+	}
+	atEL1(c, func() { c.MSR(arm.CPTR_EL2, 0x0) })
+	if len(h.traps) != 1 || h.traps[0].Reg != arm.CPTR_EL2 || !h.traps[0].Write {
+		t.Fatalf("write traps = %+v", h.traps)
+	}
+}
+
+func TestGICRegistersTrapOnWriteOnly(t *testing.T) {
+	c, h, page := newGuestHypCPU(t, 0)
+	c.Mem.MustWrite64(page.Slot(arm.ICH_VTR_EL2), 0xf)
+	atEL1(c, func() {
+		if got := c.MRS(arm.ICH_VTR_EL2); got != 0xf {
+			t.Errorf("ICH_VTR read = %#x", got)
+		}
+		if got := c.MRS(arm.ICH_LR0_EL2); got != 0 {
+			t.Errorf("ICH_LR0 read = %#x", got)
+		}
+	})
+	if len(h.traps) != 0 {
+		t.Fatalf("GIC reads trapped: %+v", h.traps)
+	}
+	atEL1(c, func() { c.MSR(arm.ICH_LR0_EL2, arm.MakeLR(40, -1)) })
+	if len(h.traps) != 1 || h.traps[0].Reg != arm.ICH_LR0_EL2 {
+		t.Fatalf("LR write traps = %+v", h.traps)
+	}
+}
+
+func TestTCRRedirectOrTrapFollowsVirtualE2H(t *testing.T) {
+	c, h, page := newGuestHypCPU(t, 0)
+	// Non-VHE guest hypervisor (virtual HCR.E2H clear in the page):
+	// TCR_EL2 formats differ from TCR_EL1, so writes trap (Table 4).
+	atEL1(c, func() { c.MSR(arm.TCR_EL2, 0x1) })
+	if len(h.traps) != 1 {
+		t.Fatalf("non-VHE TCR_EL2 write traps = %+v", h.traps)
+	}
+	h.traps = nil
+	// VHE guest hypervisor: virtual E2H set, formats identical, redirect.
+	c.Mem.MustWrite64(page.Slot(arm.HCR_EL2), arm.HCRE2H)
+	atEL1(c, func() { c.MSR(arm.TCR_EL2, 0x2) })
+	if len(h.traps) != 0 {
+		t.Fatalf("VHE TCR_EL2 write trapped: %+v", h.traps)
+	}
+	if got := c.Reg(arm.TCR_EL1); got != 0x2 {
+		t.Fatalf("TCR_EL1 = %#x", got)
+	}
+}
+
+func TestEL12AliasUsesUnderlyingRule(t *testing.T) {
+	// A VHE guest hypervisor accesses its VM's EL1 state via *_EL12
+	// instructions; those are VM system register accesses and defer.
+	c, h, page := newGuestHypCPU(t, 0)
+	atEL1(c, func() { c.MSR(arm.SCTLR_EL12, 0xabcd) })
+	if len(h.traps) != 0 {
+		t.Fatalf("EL12 access trapped: %+v", h.traps)
+	}
+	if got := c.Mem.MustRead64(page.Slot(arm.SCTLR_EL1)); got != 0xabcd {
+		t.Fatalf("page slot = %#x", got)
+	}
+}
+
+func TestEL2TimerAlwaysTraps(t *testing.T) {
+	c, h, _ := newGuestHypCPU(t, 0)
+	atEL1(c, func() {
+		c.MRS(arm.CNTHP_CTL_EL2)
+		c.MSR(arm.CNTHP_CTL_EL2, 1)
+	})
+	if len(h.traps) != 2 {
+		t.Fatalf("timer traps = %d, want 2", len(h.traps))
+	}
+}
+
+func TestDisabledVNCRTrapsEverything(t *testing.T) {
+	c, h, page := newGuestHypCPU(t, 0)
+	c.SetReg(arm.VNCR_EL2, MakeVNCR(page.Base, false))
+	atEL1(c, func() { c.MSR(arm.VTTBR_EL2, 1) })
+	if len(h.traps) != 1 {
+		t.Fatalf("traps with NEVE disabled = %d, want 1", len(h.traps))
+	}
+}
+
+func TestVNCRRegisterItselfIsDeferred(t *testing.T) {
+	// Recursive virtualization (Section 6.2): the L1 guest hypervisor's
+	// VNCR_EL2 accesses defer to its own deferred access page.
+	c, h, page := newGuestHypCPU(t, 0)
+	atEL1(c, func() { c.MSR(arm.VNCR_EL2, MakeVNCR(0x777000, true)) })
+	if len(h.traps) != 0 {
+		t.Fatalf("VNCR_EL2 access trapped: %+v", h.traps)
+	}
+	if got := c.Mem.MustRead64(page.Slot(arm.VNCR_EL2)); got != MakeVNCR(0x777000, true) {
+		t.Fatalf("deferred VNCR_EL2 = %#x", got)
+	}
+	// The hardware VNCR_EL2 (owned by the host) is unchanged.
+	if got := c.Reg(arm.VNCR_EL2); got != MakeVNCR(page.Base, true) {
+		t.Fatalf("hardware VNCR_EL2 clobbered: %#x", got)
+	}
+}
+
+func TestClassificationTableCounts(t *testing.T) {
+	byClass := map[Class]int{}
+	for _, r := range Rules() {
+		byClass[r.Class]++
+	}
+	// Table 3 as printed: 10 VM trap control (the paper lists TPIDR_EL2
+	// both there and under Thread ID; we store it once), 16 VM execution
+	// control, 1 thread ID.
+	if byClass[ClassVMTrapControl] != 9 {
+		t.Errorf("VM trap control = %d, want 9 (+TPIDR_EL2 under Thread ID)", byClass[ClassVMTrapControl])
+	}
+	if byClass[ClassVMExecControl] != 16 {
+		t.Errorf("VM execution control = %d, want 16", byClass[ClassVMExecControl])
+	}
+	if byClass[ClassThreadID] != 1 {
+		t.Errorf("thread ID = %d, want 1", byClass[ClassThreadID])
+	}
+	// Table 4: 10 redirect + 2 VHE redirect + 4 trap-on-write + 2
+	// redirect-or-trap = 18 hypervisor control registers (the paper's "17"
+	// counts TCR/TTBR0 as one row each but we count both).
+	if byClass[ClassHypRedirect] != 10 {
+		t.Errorf("redirect = %d, want 10", byClass[ClassHypRedirect])
+	}
+	if byClass[ClassHypRedirectVHE] != 2 {
+		t.Errorf("redirect VHE = %d, want 2", byClass[ClassHypRedirectVHE])
+	}
+	if byClass[ClassHypTrapOnWrite] != 4 {
+		t.Errorf("trap-on-write = %d, want 4", byClass[ClassHypTrapOnWrite])
+	}
+	if byClass[ClassHypRedirectOrTrap] != 2 {
+		t.Errorf("redirect-or-trap = %d, want 2", byClass[ClassHypRedirectOrTrap])
+	}
+	// Table 5: 6 status/control + 8 active-priority + 16 list registers.
+	if byClass[ClassGICHyp] != 30 {
+		t.Errorf("GIC hyp control = %d, want 30", byClass[ClassGICHyp])
+	}
+}
+
+func TestVNCROffsetsUniqueAndAligned(t *testing.T) {
+	seen := map[int]arm.SysReg{}
+	for _, rule := range Rules() {
+		if rule.VNCROffset < 0 {
+			continue
+		}
+		if rule.VNCROffset%8 != 0 {
+			t.Errorf("%s offset %d not 8-byte aligned", rule.Reg, rule.VNCROffset)
+		}
+		if prev, dup := seen[rule.VNCROffset]; dup {
+			t.Errorf("offset %d shared by %s and %s", rule.VNCROffset, prev, rule.Reg)
+		}
+		seen[rule.VNCROffset] = rule.Reg
+	}
+	if PageBytes() > mem.PageSize {
+		t.Fatalf("layout uses %d bytes, exceeds one page", PageBytes())
+	}
+	if PageBytes() == 0 {
+		t.Fatal("empty layout")
+	}
+}
+
+func TestRedirectTargetsShareFormatClass(t *testing.T) {
+	for _, rule := range Rules() {
+		switch rule.Treatment {
+		case TreatRedirect, TreatRedirectOrTrap:
+			if rule.Redirect == arm.RegInvalid {
+				t.Errorf("%s: redirect treatment with no target", rule.Reg)
+			}
+			if arm.Info(rule.Redirect).Min != arm.EL1 {
+				t.Errorf("%s redirects to %s which is not an EL1 register", rule.Reg, rule.Redirect)
+			}
+		case TreatVNCR, TreatTrapOnWrite:
+			if rule.VNCROffset < 0 {
+				t.Errorf("%s: page treatment with no slot", rule.Reg)
+			}
+		}
+	}
+}
+
+func TestDeferredAccessCostCheaperThanTrap(t *testing.T) {
+	// The entire point of NEVE: a deferred access must cost far less than
+	// a trap round trip.
+	costs := arm.DefaultCosts()
+	if costs.SysRegVNCR*10 > costs.TrapEnter+costs.TrapReturn {
+		t.Fatalf("deferred access (%d) not an order of magnitude cheaper than trap (%d)",
+			costs.SysRegVNCR, costs.TrapEnter+costs.TrapReturn)
+	}
+}

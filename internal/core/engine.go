@@ -1,0 +1,91 @@
+package core
+
+import "github.com/nevesim/neve/internal/arm"
+
+// Engine is the NEVE hardware logic: it is consulted by the CPU model for
+// every virtual-EL2 system register access that ARMv8.3 would trap, and
+// either performs the access (rewritten to the deferred access page or
+// redirected to an EL1 register) or declines, letting the trap proceed.
+//
+// All run-time configuration lives in the hardware VNCR_EL2 register of
+// the CPU being accessed, exactly as in the proposed architecture. The
+// Disable* fields selectively turn off NEVE's three mechanisms
+// (Section 6: deferral to memory, register redirection, cached copies)
+// for the ablation experiments; a zero Engine is full NEVE.
+type Engine struct {
+	// DisableDefer turns off the rewriting of VM system register accesses
+	// to the deferred access page (Table 3).
+	DisableDefer bool
+	// DisableRedirect turns off EL2-to-EL1 register redirection (Table 4).
+	DisableRedirect bool
+	// DisableCached turns off cached-copy reads of trap-on-write
+	// registers (Tables 4 and 5).
+	DisableCached bool
+}
+
+var _ arm.NV2Engine = Engine{}
+
+// Access implements arm.NV2Engine.
+func (e Engine) Access(c *arm.CPU, r arm.SysReg, write bool, val *uint64) arm.NV2Outcome {
+	vncr := c.Reg(arm.VNCR_EL2)
+	if !Enabled(vncr) {
+		return arm.NV2Trap
+	}
+	rule := resolveRule(r)
+	switch rule.Treatment {
+	case TreatVNCR:
+		if e.DisableDefer {
+			return arm.NV2Trap
+		}
+		return pageAccess(c, rule, write, val)
+	case TreatRedirect:
+		if e.DisableRedirect {
+			return arm.NV2Trap
+		}
+		return redirectAccess(c, rule, write, val)
+	case TreatTrapOnWrite:
+		if write || e.DisableCached {
+			return arm.NV2Trap
+		}
+		return pageAccess(c, rule, false, val)
+	case TreatRedirectOrTrap:
+		// TCR_EL2 and TTBR0_EL2 share the EL1 format only under VHE
+		// (Table 4). The guest hypervisor's virtual HCR_EL2 is itself
+		// stored in the deferred access page, so the hardware can read its
+		// E2H bit there to pick the behavior.
+		vhcr := c.Mem.MustRead64(Page{Base: BAddr(vncr)}.Slot(arm.HCR_EL2))
+		if vhcr&arm.HCRE2H != 0 {
+			if e.DisableRedirect {
+				return arm.NV2Trap
+			}
+			return redirectAccess(c, rule, write, val)
+		}
+		if write || e.DisableCached {
+			return arm.NV2Trap
+		}
+		return pageAccess(c, rule, false, val)
+	default:
+		return arm.NV2Trap
+	}
+}
+
+func pageAccess(c *arm.CPU, rule Rule, write bool, val *uint64) arm.NV2Outcome {
+	addr := Page{Base: BAddr(c.Reg(arm.VNCR_EL2))}.Slot(rule.Reg)
+	if write {
+		c.Mem.MustWrite64(addr, *val)
+	} else {
+		*val = c.Mem.MustRead64(addr)
+	}
+	c.AddCycles(c.Cost.SysRegVNCR)
+	return arm.NV2Memory
+}
+
+func redirectAccess(c *arm.CPU, rule Rule, write bool, val *uint64) arm.NV2Outcome {
+	if write {
+		c.SetReg(rule.Redirect, *val)
+	} else {
+		*val = c.Reg(rule.Redirect)
+	}
+	c.AddCycles(c.Cost.SysRegRedirect)
+	return arm.NV2Redirected
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+// VNCR_EL2 register fields (paper Table 2). The register is managed
+// exclusively by the host hypervisor.
+const (
+	// VNCREnable completely enables or disables NEVE (bit[0]).
+	VNCREnable uint64 = 1 << 0
+	// VNCRBAddrMask extracts BADDR, the physical base address of the
+	// deferred access page (bits[52:12]). The architecture mandates a
+	// page-aligned address so no alignment checks or translation faults
+	// are needed on the redirected accesses (Section 6.3).
+	VNCRBAddrMask uint64 = ((1 << 53) - 1) &^ ((1 << 12) - 1)
+)
+
+// MakeVNCR builds a VNCR_EL2 value from a page-aligned deferred access page
+// base address.
+func MakeVNCR(baddr mem.Addr, enable bool) uint64 {
+	if uint64(baddr)&(mem.PageSize-1) != 0 {
+		panic("core: VNCR_EL2.BADDR must be page aligned")
+	}
+	v := uint64(baddr) & VNCRBAddrMask
+	if enable {
+		v |= VNCREnable
+	}
+	return v
+}
+
+// BAddr extracts the deferred access page base address from a VNCR_EL2
+// value.
+func BAddr(vncr uint64) mem.Addr { return mem.Addr(vncr & VNCRBAddrMask) }
+
+// Enabled reports whether a VNCR_EL2 value has NEVE enabled.
+func Enabled(vncr uint64) bool { return vncr&VNCREnable != 0 }
+
+// Page is a view of a deferred access page at a fixed base address, used by
+// hypervisor software to read and populate the architecturally defined
+// register slots.
+type Page struct {
+	Base mem.Addr
+}
+
+// Slot returns the physical address of r's slot in the page. It panics if
+// r is not stored in the page; callers use VNCROffset to test.
+func (p Page) Slot(r arm.SysReg) mem.Addr {
+	off := resolveRule(r).VNCROffset
+	if off < 0 {
+		panic("core: register " + r.String() + " has no deferred access page slot")
+	}
+	return p.Base + mem.Addr(off)
+}
+
+// Has reports whether r has a slot in the deferred access page.
+func (p Page) Has(r arm.SysReg) bool { return resolveRule(r).VNCROffset >= 0 }
+
+// resolveRule returns the NEVE rule for r, following *_EL12/*_EL02 alias
+// encodings to their underlying register: a VHE guest hypervisor's
+// SCTLR_EL12 access is a VM-system-register access to SCTLR_EL1.
+func resolveRule(r arm.SysReg) Rule {
+	rule := rules[r]
+	if rule.Reg == arm.RegInvalid {
+		if a := arm.Info(r).Alias; a != arm.RegInvalid {
+			return rules[a]
+		}
+	}
+	return rule
+}
+
+// ResolvedRule is the exported form of resolveRule for tests and tools.
+func ResolvedRule(r arm.SysReg) Rule { return resolveRule(r) }
+
+// PageBytes is the number of bytes of the deferred access page the layout
+// actually uses; the remainder is reserved.
+func PageBytes() int { return nextOff }

@@ -1,0 +1,230 @@
+package gic
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+type fakeTarget struct{ got []int }
+
+func (f *fakeTarget) AssertIRQ(intid int) { f.got = append(f.got, intid) }
+
+func TestSPIRouting(t *testing.T) {
+	t0, t1 := &fakeTarget{}, &fakeTarget{}
+	d := NewDist(t0, t1)
+	d.EnableAll()
+	d.Route(40, 1)
+	d.AssertSPI(40)
+	if len(t1.got) != 1 || t1.got[0] != 40 {
+		t.Fatalf("target1 got %v", t1.got)
+	}
+	if len(t0.got) != 0 {
+		t.Fatalf("target0 got %v", t0.got)
+	}
+	// Edge semantics: delivery consumes the pending state.
+	if d.IsPending(40) {
+		t.Fatal("delivered SPI still pending")
+	}
+	d.AssertSPI(40)
+	if len(t1.got) != 2 {
+		t.Fatalf("second assertion not delivered: %v", t1.got)
+	}
+}
+
+func TestDisabledSPILatched(t *testing.T) {
+	tgt := &fakeTarget{}
+	d := NewDist(tgt)
+	d.AssertSPI(40) // all disabled by default
+	if len(tgt.got) != 0 {
+		t.Fatal("disabled interrupt delivered")
+	}
+	if !d.IsPending(40) {
+		t.Fatal("disabled interrupt not latched")
+	}
+}
+
+func TestSGIDelivery(t *testing.T) {
+	t0, t1 := &fakeTarget{}, &fakeTarget{}
+	d := NewDist(t0, t1)
+	d.EnableAll()
+	d.SendSGI(1, 3)
+	if len(t1.got) != 1 || t1.got[0] != 3 {
+		t.Fatalf("SGI delivery = %v", t1.got)
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	d := NewDist(&fakeTarget{})
+	d.EnableAll()
+	d.AssertSPI(50)
+	d.Activate(50)
+	if d.IsPending(50) || !d.IsActive(50) {
+		t.Fatal("Activate state wrong")
+	}
+	d.Deactivate(50)
+	if d.IsActive(50) {
+		t.Fatal("Deactivate state wrong")
+	}
+}
+
+func TestMMIOSGIRTriggersSGI(t *testing.T) {
+	t0, t1 := &fakeTarget{}, &fakeTarget{}
+	d := NewDist(t0, t1)
+	d.EnableAll()
+	v := uint64(1<<16 | 5) // target core 1, SGI 5
+	if !d.Access(nil, DistBase+RegSGIR, true, 4, &v) {
+		t.Fatal("SGIR write not claimed")
+	}
+	if len(t1.got) != 1 || t1.got[0] != 5 {
+		t.Fatalf("SGIR delivery = %v", t1.got)
+	}
+}
+
+func TestMMIOEnableDisable(t *testing.T) {
+	tgt := &fakeTarget{}
+	d := NewDist(tgt)
+	v := uint64(1 << (40 % 32)) // bit for INTID 40 in word 1
+	addr := DistBase + RegISENABLER + mem.Addr(40/32)*4
+	if !d.Access(nil, addr, true, 4, &v) {
+		t.Fatal("ISENABLER not claimed")
+	}
+	d.AssertSPI(40)
+	if len(tgt.got) != 1 {
+		t.Fatalf("enabled-via-MMIO interrupt not delivered: %v", tgt.got)
+	}
+	v = uint64(1 << (40 % 32))
+	if !d.Access(nil, DistBase+RegICENABLER+mem.Addr(40/32)*4, true, 4, &v) {
+		t.Fatal("ICENABLER not claimed")
+	}
+	d.AssertSPI(40)
+	if len(tgt.got) != 1 {
+		t.Fatalf("disabled-via-MMIO interrupt delivered: %v", tgt.got)
+	}
+}
+
+func TestMMIOOutsideWindowNotClaimed(t *testing.T) {
+	d := NewDist(&fakeTarget{})
+	v := uint64(0)
+	if d.Access(nil, DistBase-8, false, 4, &v) {
+		t.Fatal("claimed address below window")
+	}
+	if d.Access(nil, DistBase+mem.Addr(DistSize), false, 4, &v) {
+		t.Fatal("claimed address above window")
+	}
+}
+
+func newGuestCPU() *arm.CPU {
+	c := arm.NewCPU(0, mem.New(0), arm.FeaturesV83())
+	c.Vector = nopHandler{}
+	return c
+}
+
+type nopHandler struct{}
+
+func (nopHandler) HandleTrap(c *arm.CPU, e *arm.Exception) uint64 { return 0 }
+
+func TestVirtualAckAndEOI(t *testing.T) {
+	d := NewDist(&fakeTarget{})
+	d.EnableAll()
+	ifc := &VCPUIfc{Dist: d}
+	c := newGuestCPU()
+	c.AddDevice(ifc)
+	c.SetReg(arm.ICH_LR0_EL2, arm.MakeLR(42, -1))
+	c.RunGuest(1, func() {
+		if got := c.MRS(arm.ICC_IAR1_EL1); got != 42 {
+			t.Errorf("IAR = %d, want 42", got)
+		}
+		if arm.LRStateOf(c.Reg(arm.ICH_LR0_EL2)) != arm.LRStateActive {
+			t.Error("LR not active after ack")
+		}
+		c.MSR(arm.ICC_EOIR1_EL1, 42)
+	})
+	if arm.LRStateOf(c.Reg(arm.ICH_LR0_EL2)) != arm.LRStateInvalid {
+		t.Fatal("LR not invalidated by EOI")
+	}
+}
+
+func TestVirtualEOICostIs71Cycles(t *testing.T) {
+	// Table 1/6: Virtual EOI = 71 cycles in a VM and in a nested VM.
+	d := NewDist(&fakeTarget{})
+	ifc := &VCPUIfc{Dist: d}
+	c := newGuestCPU()
+	c.AddDevice(ifc)
+	c.SetReg(arm.ICH_LR0_EL2, arm.MakeLR(42, -1))
+	var cost uint64
+	c.RunGuest(2, func() {
+		c.MRS(arm.ICC_IAR1_EL1)
+		before := c.Cycles()
+		c.MSR(arm.ICC_EOIR1_EL1, 42)
+		cost = c.Cycles() - before
+	})
+	if cost != 71 {
+		t.Fatalf("Virtual EOI = %d cycles, want 71", cost)
+	}
+}
+
+func TestHWLinkedEOIDeactivatesPhysical(t *testing.T) {
+	d := NewDist(&fakeTarget{})
+	d.EnableAll()
+	d.AssertSPI(100)
+	d.Activate(100)
+	ifc := &VCPUIfc{Dist: d}
+	c := newGuestCPU()
+	c.AddDevice(ifc)
+	c.SetReg(arm.ICH_LR0_EL2, arm.MakeLR(60, 100))
+	c.RunGuest(1, func() {
+		c.MRS(arm.ICC_IAR1_EL1)
+		c.MSR(arm.ICC_EOIR1_EL1, 60)
+	})
+	if d.IsActive(100) {
+		t.Fatal("physical interrupt not deactivated by virtual EOI")
+	}
+}
+
+func TestAckEmptyReturns1023(t *testing.T) {
+	c := newGuestCPU()
+	c.AddDevice(&VCPUIfc{})
+	c.RunGuest(1, func() {
+		if got := c.MRS(arm.ICC_IAR1_EL1); got != 1023 {
+			t.Errorf("IAR on empty LRs = %d, want 1023", got)
+		}
+	})
+}
+
+func TestMaintenanceOnUnderflow(t *testing.T) {
+	tgt := &fakeTarget{}
+	d := NewDist(tgt)
+	d.EnableAll()
+	ifc := &VCPUIfc{Dist: d}
+	c := newGuestCPU()
+	c.AddDevice(ifc)
+	c.SetReg(arm.ICH_HCR_EL2, arm.ICHHCREn|arm.ICHHCRUIE)
+	c.SetReg(arm.ICH_LR0_EL2, arm.MakeLR(42, -1))
+	c.RunGuest(1, func() {
+		c.MRS(arm.ICC_IAR1_EL1)
+		c.MSR(arm.ICC_EOIR1_EL1, 42)
+	})
+	if len(tgt.got) != 1 || tgt.got[0] != MaintenanceINTID {
+		t.Fatalf("maintenance delivery = %v", tgt.got)
+	}
+}
+
+func TestSGI1RWriteTrapsWithIMO(t *testing.T) {
+	c := arm.NewCPU(0, mem.New(0), arm.FeaturesV83())
+	var traps []arm.Exception
+	c.Vector = handlerFunc(func(cc *arm.CPU, e *arm.Exception) uint64 {
+		traps = append(traps, *e)
+		return 0
+	})
+	c.SetReg(arm.HCR_EL2, arm.HCRIMO)
+	c.RunGuest(1, func() { c.MSR(arm.ICC_SGI1R_EL1, 1) })
+	if len(traps) != 1 || traps[0].Reg != arm.ICC_SGI1R_EL1 {
+		t.Fatalf("traps = %+v", traps)
+	}
+}
+
+type handlerFunc func(c *arm.CPU, e *arm.Exception) uint64
+
+func (f handlerFunc) HandleTrap(c *arm.CPU, e *arm.Exception) uint64 { return f(c, e) }

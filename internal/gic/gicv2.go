@@ -1,0 +1,110 @@
+package gic
+
+import (
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+// GICv2 exposes the hypervisor control interface as memory-mapped GICH
+// registers instead of the GICv3 system registers — the configuration of
+// the paper's evaluation hardware (Section 4: "The hypervisor control
+// interface is memory mapped with GICv2 and therefore trivially traps to
+// EL2 when not mapped in the Stage-2 page tables"). Both interfaces are
+// windows onto the same ICH_* state in the CPU's register file, matching
+// the paper's observation that "the programming interfaces for both GIC
+// versions are almost identical".
+
+// HostIfcBase is the physical address of the GICH window.
+const HostIfcBase mem.Addr = 0x0801_0000
+
+// HostIfcSize is the window length.
+const HostIfcSize uint64 = 0x1000
+
+// GICH register offsets (ARM IHI 0048B).
+const (
+	GICHHCR   = 0x000
+	GICHVTR   = 0x004
+	GICHVMCR  = 0x008
+	GICHMISR  = 0x010
+	GICHEISR  = 0x020
+	GICHELRSR = 0x030
+	GICHAPR   = 0x0f0
+	GICHLR0   = 0x100
+)
+
+// HostIfcReg maps a GICH window offset to the backing ICH register, ok =
+// false for reserved offsets.
+func HostIfcReg(off uint64) (arm.SysReg, bool) {
+	switch {
+	case off == GICHHCR:
+		return arm.ICH_HCR_EL2, true
+	case off == GICHVTR:
+		return arm.ICH_VTR_EL2, true
+	case off == GICHVMCR:
+		return arm.ICH_VMCR_EL2, true
+	case off == GICHMISR:
+		return arm.ICH_MISR_EL2, true
+	case off == GICHEISR:
+		return arm.ICH_EISR_EL2, true
+	case off == GICHELRSR:
+		return arm.ICH_ELRSR_EL2, true
+	case off >= GICHAPR && off < GICHAPR+16:
+		return arm.ICH_AP1R0_EL2 + arm.SysReg((off-GICHAPR)/4), true
+	case off >= GICHLR0 && off < GICHLR0+16*4:
+		return arm.ICHLR(int(off-GICHLR0) / 4), true
+	default:
+		return arm.RegInvalid, false
+	}
+}
+
+// HostIfcOffset is the inverse mapping, for software that addresses the
+// window by register.
+func HostIfcOffset(r arm.SysReg) (uint64, bool) {
+	switch {
+	case r == arm.ICH_HCR_EL2:
+		return GICHHCR, true
+	case r == arm.ICH_VTR_EL2:
+		return GICHVTR, true
+	case r == arm.ICH_VMCR_EL2:
+		return GICHVMCR, true
+	case r == arm.ICH_MISR_EL2:
+		return GICHMISR, true
+	case r == arm.ICH_EISR_EL2:
+		return GICHEISR, true
+	case r == arm.ICH_ELRSR_EL2:
+		return GICHELRSR, true
+	case r >= arm.ICH_AP0R0_EL2 && r <= arm.ICH_AP1R3_EL2:
+		// GICv2 has a single APR bank; both GICv3 groups fold onto it.
+		return GICHAPR + uint64(r-arm.ICH_AP1R0_EL2)%4*4, true
+	case arm.IsICHLR(r):
+		return GICHLR0 + uint64(r-arm.ICH_LR0_EL2)*4, true
+	default:
+		return 0, false
+	}
+}
+
+// HostIfc is the memory-mapped GICH device on the physical bus: host
+// (EL2) accesses reach the interface state directly; guest accesses never
+// get here — they fault in Stage-2 first and are emulated by the host
+// hypervisor.
+type HostIfc struct{}
+
+// Access implements the machine bus device contract.
+func (HostIfc) Access(c *arm.CPU, pa mem.Addr, write bool, size int, val *uint64) bool {
+	if pa < HostIfcBase || uint64(pa-HostIfcBase) >= HostIfcSize {
+		return false
+	}
+	r, ok := HostIfcReg(uint64(pa - HostIfcBase))
+	if !ok {
+		if !write {
+			*val = 0
+		}
+		return true
+	}
+	if write {
+		c.SetReg(r, *val)
+	} else {
+		*val = c.Reg(r)
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package gic
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+func TestHostIfcRegOffsetsRoundTrip(t *testing.T) {
+	// Every register with a window offset maps back to itself.
+	regs := []arm.SysReg{
+		arm.ICH_HCR_EL2, arm.ICH_VTR_EL2, arm.ICH_VMCR_EL2,
+		arm.ICH_MISR_EL2, arm.ICH_EISR_EL2, arm.ICH_ELRSR_EL2,
+	}
+	for i := 0; i < 16; i++ {
+		regs = append(regs, arm.ICHLR(i))
+	}
+	for _, r := range regs {
+		off, ok := HostIfcOffset(r)
+		if !ok {
+			t.Errorf("%s has no GICH offset", r)
+			continue
+		}
+		back, ok := HostIfcReg(off)
+		if !ok || back != r {
+			t.Errorf("offset %#x of %s maps back to %v", off, r, back)
+		}
+	}
+	// AP registers fold both GICv3 groups onto the single GICv2 APR bank.
+	offAP0, _ := HostIfcOffset(arm.ICH_AP0R1_EL2)
+	offAP1, _ := HostIfcOffset(arm.ICH_AP1R1_EL2)
+	if offAP0 != offAP1 {
+		t.Errorf("AP0R1/AP1R1 offsets differ: %#x vs %#x", offAP0, offAP1)
+	}
+}
+
+func TestHostIfcRegReservedOffsets(t *testing.T) {
+	for _, off := range []uint64{0x0c, 0x40, 0x1c0, 0x180} {
+		if r, ok := HostIfcReg(off); ok {
+			t.Errorf("reserved offset %#x mapped to %v", off, r)
+		}
+	}
+	if _, ok := HostIfcOffset(arm.SCTLR_EL1); ok {
+		t.Error("non-interface register has a GICH offset")
+	}
+}
+
+func TestHostIfcDeviceAccess(t *testing.T) {
+	c := arm.NewCPU(0, mem.New(0), arm.FeaturesV83())
+	dev := HostIfc{}
+	v := uint64(0x1234)
+	if !dev.Access(c, HostIfcBase+GICHVMCR, true, 4, &v) {
+		t.Fatal("GICH write not claimed")
+	}
+	if got := c.Reg(arm.ICH_VMCR_EL2); got != 0x1234 {
+		t.Fatalf("backing register = %#x", got)
+	}
+	var out uint64
+	if !dev.Access(c, HostIfcBase+GICHVMCR, false, 4, &out) || out != 0x1234 {
+		t.Fatalf("GICH read = %#x", out)
+	}
+	// Reserved offsets read as zero but are claimed (window semantics).
+	if !dev.Access(c, HostIfcBase+0x0c, false, 4, &out) || out != 0 {
+		t.Fatalf("reserved offset read = %#x", out)
+	}
+	// Outside the window: not claimed.
+	if dev.Access(c, HostIfcBase+mem.Addr(HostIfcSize), false, 4, &out) {
+		t.Fatal("address beyond window claimed")
+	}
+}
+
+func TestEnableSingle(t *testing.T) {
+	tgt := &fakeTarget{}
+	d := NewDist(tgt)
+	d.Enable(40)
+	d.AssertSPI(40)
+	if len(tgt.got) != 1 {
+		t.Fatalf("individually enabled SPI not delivered: %v", tgt.got)
+	}
+}
+
+func TestRouteRejectsNonSPI(t *testing.T) {
+	d := NewDist(&fakeTarget{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Route of a PPI did not panic")
+		}
+	}()
+	d.Route(27, 0)
+}
+
+func TestSendSGIRejectsNonSGI(t *testing.T) {
+	d := NewDist(&fakeTarget{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SendSGI of an SPI did not panic")
+		}
+	}()
+	d.SendSGI(0, 40)
+}
+
+func TestDeliverUnknownCorePanics(t *testing.T) {
+	d := NewDist() // no targets
+	d.EnableAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery to missing core did not panic")
+		}
+	}()
+	d.SendSGI(0, 1)
+}
+
+func TestVCPUIfcIgnoresHostAccesses(t *testing.T) {
+	// Host (EL2) ICC accesses are not the virtual interface's business.
+	c := arm.NewCPU(0, mem.New(0), arm.FeaturesV83())
+	ifc := &VCPUIfc{}
+	if _, handled := ifc.SysRegRead(c, arm.ICC_IAR1_EL1); handled {
+		t.Error("virtual interface claimed a host read")
+	}
+	if handled := ifc.SysRegWrite(c, arm.ICC_EOIR1_EL1, 1); handled {
+		t.Error("virtual interface claimed a host write")
+	}
+}
+
+func TestVCPUIfcControlRegisters(t *testing.T) {
+	c := newGuestCPU()
+	c.AddDevice(&VCPUIfc{})
+	c.RunGuest(1, func() {
+		c.MSR(arm.ICC_PMR_EL1, 0xf0)
+		if got := c.MRS(arm.ICC_PMR_EL1); got != 0xf0 {
+			t.Errorf("PMR = %#x", got)
+		}
+		c.MSR(arm.ICC_BPR1_EL1, 3)
+		if got := c.MRS(arm.ICC_BPR1_EL1); got != 3 {
+			t.Errorf("BPR1 = %#x", got)
+		}
+	})
+}
+
+func TestCTLRMMIORead(t *testing.T) {
+	d := NewDist(&fakeTarget{})
+	d.EnableAll()
+	var v uint64
+	if !d.Access(nil, DistBase+RegCTLR, false, 4, &v) || v != 1 {
+		t.Fatalf("CTLR read = %d", v)
+	}
+	v = 0
+	if !d.Access(nil, DistBase+RegCTLR, true, 4, &v) {
+		t.Fatal("CTLR write not claimed")
+	}
+	var back uint64
+	d.Access(nil, DistBase+RegCTLR, false, 4, &back)
+	if back != 0 {
+		t.Fatalf("CTLR after disable = %d", back)
+	}
+}

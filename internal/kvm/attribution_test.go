@@ -1,0 +1,53 @@
+package kvm
+
+import "testing"
+
+func TestCycleAttributionByLevel(t *testing.T) {
+	// The exit multiplication problem in time terms: during a nested
+	// hypercall, most cycles are spent in the host hypervisor (level 0)
+	// and the guest hypervisor (level 1); the nested VM (level 2) barely
+	// runs (Section 5).
+	s := NewNestedStack(StackOptions{})
+	c := s.M.CPUs[0]
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall()
+		c.ResetLevelCycles()
+		g.Hypercall()
+	})
+	lv := c.LevelCycles()
+	t.Logf("cycles by level: L0=%d L1=%d L2=%d", lv[0], lv[1], lv[2])
+	if lv[0] < lv[1] || lv[1] < lv[2] {
+		t.Errorf("attribution should decrease with level: %v", lv[:3])
+	}
+	total := lv[0] + lv[1] + lv[2]
+	if total < 300_000 {
+		t.Errorf("attributed total = %d, want most of the ~420k hypercall", total)
+	}
+	if lv[0] < total/2 {
+		t.Errorf("host hypervisor share = %d of %d, want the majority", lv[0], total)
+	}
+}
+
+func TestCycleAttributionNEVEShiftsToGuestHyp(t *testing.T) {
+	// NEVE eliminates most host-hypervisor involvement: the guest
+	// hypervisor's share of a nested operation rises.
+	share := func(neve bool) float64 {
+		s := NewNestedStack(StackOptions{GuestNEVE: neve})
+		c := s.M.CPUs[0]
+		var out float64
+		s.RunGuest(0, func(g *GuestCtx) {
+			g.Hypercall()
+			c.ResetLevelCycles()
+			g.Hypercall()
+			lv := c.LevelCycles()
+			out = float64(lv[1]) / float64(lv[0]+lv[1]+lv[2])
+		})
+		return out
+	}
+	v83 := share(false)
+	nv := share(true)
+	t.Logf("guest hypervisor share: v8.3 %.2f, NEVE %.2f", v83, nv)
+	if nv <= v83 {
+		t.Errorf("NEVE should raise the guest hypervisor's share: %.2f vs %.2f", nv, v83)
+	}
+}

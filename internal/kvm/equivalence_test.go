@@ -1,0 +1,103 @@
+package kvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Metamorphic equivalence: NEVE, VHE, GICv2 and the optimized design are
+// performance mechanisms — every guest-visible VALUE must be identical
+// across all of them. Only the costs may differ.
+
+// script runs a deterministic mixed program and returns every value the
+// guest observed.
+func script(s *Stack, seed uint64) []uint64 {
+	var out []uint64
+	s.M.Dist.Route(48, 0)
+	s.RunGuest(0, func(g *GuestCtx) {
+		irqs := uint64(0)
+		g.OnIRQ(func(int) { irqs++ })
+		if err := g.VirtioInit(); err != nil {
+			out = append(out, ^uint64(0))
+			return
+		}
+		x := seed
+		for i := 0; i < 24; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			switch x % 6 {
+			case 0:
+				g.RAMWrite64(uint64(x%2048)*8, x)
+				out = append(out, g.RAMRead64(uint64(x%2048)*8))
+			case 1:
+				out = append(out, g.DeviceRead(uint64(x%60)*8))
+			case 2:
+				g.Hypercall()
+			case 3:
+				v, err := g.VirtioEcho(x)
+				if err != nil {
+					v = ^uint64(0)
+				}
+				out = append(out, v)
+			case 4:
+				s.M.Dist.AssertSPI(48)
+				g.Work(400)
+			case 5:
+				out = append(out, g.PSCIVersion())
+			}
+		}
+		out = append(out, irqs)
+	})
+	return out
+}
+
+func TestFunctionalEquivalenceAcrossConfigs(t *testing.T) {
+	configs := []struct {
+		name string
+		opts StackOptions
+	}{
+		{"v8.3", StackOptions{}},
+		{"v8.3-VHE", StackOptions{GuestVHE: true}},
+		{"NEVE", StackOptions{GuestNEVE: true}},
+		{"NEVE-VHE", StackOptions{GuestVHE: true, GuestNEVE: true}},
+		{"NEVE-GICv2", StackOptions{GuestNEVE: true, GICv2: true}},
+		{"NEVE-opt-VHE", StackOptions{GuestVHE: true, GuestNEVE: true, GuestOptimized: true}},
+		{"NEVE-VHE-host", StackOptions{GuestNEVE: true, HostVHE: true}},
+	}
+	baseline := script(NewNestedStack(configs[0].opts), 7)
+	if len(baseline) == 0 {
+		t.Fatal("empty baseline")
+	}
+	for _, tc := range configs[1:] {
+		got := script(NewNestedStack(tc.opts), 7)
+		if len(got) != len(baseline) {
+			t.Errorf("%s: observed %d values, baseline %d", tc.name, len(got), len(baseline))
+			continue
+		}
+		for i := range baseline {
+			if got[i] != baseline[i] {
+				t.Errorf("%s: observation %d = %#x, baseline %#x", tc.name, i, got[i], baseline[i])
+				break
+			}
+		}
+	}
+}
+
+func TestQuickEquivalenceV83vsNEVE(t *testing.T) {
+	f := func(seed16 uint16) bool {
+		seed := uint64(seed16) + 1
+		a := script(NewNestedStack(StackOptions{}), seed)
+		b := script(NewNestedStack(StackOptions{GuestNEVE: true}), seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

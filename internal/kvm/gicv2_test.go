@@ -1,0 +1,74 @@
+package kvm
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+)
+
+// The GICv2 memory-mapped interface must be functionally and trap-count
+// equivalent to the GICv3 system register interface (paper Section 7:
+// "the programming interfaces for both GIC versions are almost
+// identical").
+func TestGICv2TrapEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts StackOptions
+	}{
+		{"v8.3", StackOptions{}},
+		{"v8.3-VHE", StackOptions{GuestVHE: true}},
+		{"NEVE", StackOptions{GuestNEVE: true}},
+		{"NEVE-VHE", StackOptions{GuestVHE: true, GuestNEVE: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			measure := func(gicv2 bool) uint64 {
+				opts := tc.opts
+				opts.GICv2 = gicv2
+				s := NewNestedStack(opts)
+				s.RunGuest(0, func(g *GuestCtx) {
+					g.Hypercall()
+					s.M.Trace.Reset()
+					g.Hypercall()
+				})
+				return s.M.Trace.Total()
+			}
+			v3 := measure(false)
+			v2 := measure(true)
+			if v2 != v3 {
+				t.Errorf("traps: GICv2 %d vs GICv3 %d — interfaces must be equivalent", v2, v3)
+			}
+		})
+	}
+}
+
+func TestGICv2IPIDelivery(t *testing.T) {
+	s := NewNestedStack(StackOptions{CPUs: 2, GICv2: true, GuestNEVE: true})
+	c1 := s.M.CPUs[1]
+	var got []int
+	s.Host.PreparePeerNested(s.VM.VCPUs[1])
+	s.VM.VCPUs[1].nestedVCPU().Guest.OnIRQ(func(intid int) { got = append(got, intid) })
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.SendIPI(1, 5)
+		s.Host.Service(c1)
+	})
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("GICv2 nested IPI delivered = %v", got)
+	}
+}
+
+func TestGICv2HostWindow(t *testing.T) {
+	// Host (EL2) accesses through the GICH window reach the interface
+	// state directly, no traps.
+	s := NewVMStack(StackOptions{GICv2: true})
+	c := s.M.CPUs[0]
+	s.Host.ichWrite(c, arm.ICHLR(0), 0x1234)
+	if got := c.Reg(arm.ICHLR(0)); got != 0x1234 {
+		t.Fatalf("GICH LR0 write landed as %#x", got)
+	}
+	if got := s.Host.ichRead(c, arm.ICHLR(0)); got != 0x1234 {
+		t.Fatalf("GICH LR0 read = %#x", got)
+	}
+	if s.M.Trace.Total() != 0 {
+		t.Fatal("host GICH access trapped")
+	}
+}

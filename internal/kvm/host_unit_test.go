@@ -1,0 +1,106 @@
+package kvm
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/gic"
+	"github.com/nevesim/neve/internal/machine"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+func TestLeafGuestPlainNesting(t *testing.T) {
+	s := NewNestedStack(StackOptions{})
+	lv := s.VM.VCPUs[0]
+	sink, level := s.Host.leafGuest(lv)
+	if level != 2 {
+		t.Errorf("level = %d, want 2", level)
+	}
+	if sink != lv.nestedVCPU().Guest {
+		t.Error("sink is not the nested guest")
+	}
+}
+
+func TestLeafGuestRecursive(t *testing.T) {
+	s := NewRecursiveStack(StackOptions{})
+	lv := s.VM.VCPUs[0]
+	// Warm-start the L3 chain so the virtual states say "VM entered".
+	s.RunGuest(0, func(g *GuestCtx) {})
+	sink, level := s.Host.leafGuest(lv)
+	if level != 3 {
+		t.Errorf("level = %d, want 3 (the L3 VM)", level)
+	}
+	nnv := lv.nestedVCPU().nestedVCPU()
+	if sink != nnv.Guest {
+		t.Error("sink is not the L3 guest")
+	}
+}
+
+func TestLeafGuestStopsAtRunningHypervisor(t *testing.T) {
+	s := NewRecursiveStack(StackOptions{})
+	lv := s.VM.VCPUs[0]
+	// Pretend the L1 guest hypervisor configured NV: its own guest
+	// hypervisor (L2) is what runs, so there is no leaf OS sink.
+	lv.VEL2.Set(arm.HCR_EL2, arm.HCRVM|arm.HCRNV)
+	sink, level := s.Host.leafGuest(lv)
+	if sink != nil {
+		t.Error("sink present while a hypervisor runs")
+	}
+	if level != 2 {
+		t.Errorf("level = %d, want 2 (the L2 hypervisor)", level)
+	}
+}
+
+func TestIsConsoleWindow(t *testing.T) {
+	s := NewVMStack(StackOptions{})
+	if !s.Host.isConsole(machine.UARTBase) || !s.Host.isConsole(machine.UARTBase+0xfff) {
+		t.Error("console window not recognized")
+	}
+	if s.Host.isConsole(machine.UARTBase-1) || s.Host.isConsole(VirtioBase) {
+		t.Error("console window too wide")
+	}
+}
+
+func TestGICHFaultRegMapping(t *testing.T) {
+	s := NewVMStack(StackOptions{GICv2: true})
+	cases := map[uint64]arm.SysReg{
+		gic.GICHHCR:      arm.ICH_HCR_EL2,
+		gic.GICHVMCR:     arm.ICH_VMCR_EL2,
+		gic.GICHLR0:      arm.ICH_LR0_EL2,
+		gic.GICHLR0 + 12: arm.ICH_LR3_EL2,
+		gic.GICHAPR:      arm.ICH_AP1R0_EL2,
+	}
+	for off, want := range cases {
+		e := &arm.Exception{EC: arm.ECDAbtLow, FaultIPA: gic.HostIfcBase + mem.Addr(off)}
+		got, ok := s.Host.gichFaultReg(e)
+		if !ok || got != want {
+			t.Errorf("offset %#x -> %v, %v; want %v", off, got, ok, want)
+		}
+	}
+	// Outside the window.
+	e := &arm.Exception{EC: arm.ECDAbtLow, FaultIPA: VirtioBase}
+	if _, ok := s.Host.gichFaultReg(e); ok {
+		t.Error("non-GICH fault mapped")
+	}
+}
+
+func TestSysRegEmuExtraClasses(t *testing.T) {
+	if sysRegEmuExtra(arm.CNTV_CTL_EL02, true) != workTimerEmu02 {
+		t.Error("EL02 timer class wrong")
+	}
+	if sysRegEmuExtra(arm.CNTHCTL_EL2, true) != workTimerEmu {
+		t.Error("EL2 timer class wrong")
+	}
+	if sysRegEmuExtra(arm.ICH_LR0_EL2, true) != workVGICWriteEmu {
+		t.Error("vgic write class wrong")
+	}
+	if sysRegEmuExtra(arm.ICH_LR0_EL2, false) != 0 {
+		t.Error("vgic read should be generic")
+	}
+	if sysRegEmuExtra(arm.HCR_EL2, true) != workCtlEmu {
+		t.Error("trap-control class wrong")
+	}
+	if sysRegEmuExtra(arm.SCTLR_EL1, true) != 0 {
+		t.Error("plain context register should be generic")
+	}
+}

@@ -1,0 +1,350 @@
+package kvm
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/core"
+	"github.com/nevesim/neve/internal/machine"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+// Config selects the hypervisor build, mirroring the configurations the
+// paper evaluates (Section 5 and 7).
+type Config struct {
+	// Name labels the hypervisor in diagnostics ("L0", "L1", ...).
+	Name string
+	// VHE selects the Virtualization Host Extensions build: the hypervisor
+	// and its kernel run entirely in EL2, using EL1 access instructions
+	// that E2H redirects, with no host EL1 context switching.
+	VHE bool
+	// NEVE makes the hypervisor use NEVE when it runs deprivileged as a
+	// guest hypervisor (Section 6.4); ignored for the host role.
+	NEVE bool
+	// GICv2 makes the hypervisor program the GIC hypervisor control
+	// interface through the memory-mapped GICH window (the paper's actual
+	// evaluation hardware) instead of the GICv3 system registers. Guest
+	// hypervisor accesses then trap as Stage-2 faults rather than system
+	// register traps; the counts are equivalent (Section 4).
+	GICv2 bool
+	// Optimized selects the redesigned VHE hypervisor of Dall et al.
+	// (USENIX ATC 2017, the paper's reference [16]): VM system register
+	// and timer context are switched at vcpu_load/vcpu_put instead of on
+	// every exit, and the virtual interface is reprogrammed only when
+	// interrupts are in flight. Section 7.1 observes such a hypervisor
+	// "with NEVE could potentially reduce the number of traps to the host
+	// hypervisor to even less than x86". Requires VHE.
+	Optimized bool
+}
+
+// runMode is what a loaded vCPU context is executing.
+type runMode int
+
+const (
+	// modeVEL1Host: the guest hypervisor's own host kernel at virtual EL1.
+	modeVEL1Host runMode = iota
+	// modeVEL2: the deprivileged guest hypervisor ("virtual EL2").
+	modeVEL2
+	// modeNested: the guest hypervisor's VM (the nested VM).
+	modeNested
+	// modeGuestOS: a plain VM running only an OS.
+	modeGuestOS
+)
+
+func (m runMode) String() string {
+	switch m {
+	case modeVEL1Host:
+		return "vEL1-host"
+	case modeVEL2:
+		return "vEL2"
+	case modeNested:
+		return "nested"
+	case modeGuestOS:
+		return "guest"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// loadedCtx is the per-physical-CPU record of what context the hypervisor
+// has loaded onto the hardware.
+type loadedCtx struct {
+	vcpu *VCPU
+	mode runMode
+}
+
+// Hypervisor is the KVM/ARM model. The same type serves as the L0 host
+// hypervisor (installed as the EL2 exception vector) and as a deprivileged
+// guest hypervisor at any level (entered through VectorEntry when its
+// parent forwards an exit). Its privileged operations are ordinary CPU
+// accesses, routed by the architecture model according to where it runs.
+type Hypervisor struct {
+	Cfg    Config
+	M      *machine.Machine
+	Parent *Hypervisor
+	Level  arm.VLevel
+
+	VMs []*VM
+
+	// hostCtx is the hypervisor's host Linux EL1 context. A non-VHE build
+	// switches it against the VM context on every exit (Section 6.5).
+	hostCtx Context
+
+	// home is the VM this hypervisor runs inside (nil for the host).
+	home *VM
+
+	loaded     []loadedCtx
+	pendingFwd *fwd
+	guestMem   *guestBacking
+	nextVMID   uint16
+}
+
+// New creates a hypervisor. parent is nil for the host (L0).
+func New(cfg Config, m *machine.Machine, parent *Hypervisor) *Hypervisor {
+	level := arm.VLevel(0)
+	if parent != nil {
+		level = parent.Level + 1
+	}
+	h := &Hypervisor{
+		Cfg:    cfg,
+		M:      m,
+		Parent: parent,
+		Level:  level,
+		loaded: make([]loadedCtx, len(m.CPUs)),
+	}
+	// Plausible host kernel EL1 context contents (values are opaque).
+	for i, r := range el1CtxRegs {
+		h.hostCtx.Set(r, 0x0521_0000+uint64(i))
+	}
+	return h
+}
+
+// IsHost reports whether this hypervisor runs natively at EL2.
+func (h *Hypervisor) IsHost() bool { return h.Parent == nil }
+
+// CreateVM builds a VM with the given number of vCPUs pinned to physical
+// cores starting at core firstCPU, with ramSize bytes of RAM placed at
+// ramBase in this hypervisor's own address space.
+func (h *Hypervisor) CreateVM(name string, vcpus, firstCPU int, ramBase mem.Addr, ramSize uint64) *VM {
+	vm := &VM{Hyp: h, Name: name, RAMBase: ramBase, RAMSize: ramSize}
+	for i := 0; i < vcpus; i++ {
+		pcpu := h.M.CPUs[firstCPU+i]
+		v := &VCPU{VM: vm, ID: i, PCPU: pcpu}
+		v.Guest = &GuestCtx{CPU: pcpu, VCPU: v}
+		// Plausible initial guest EL1 context.
+		for j, r := range el1CtxRegs {
+			v.EL1.Set(r, 0x9e570000+uint64(i)<<8+uint64(j))
+		}
+		v.VEL2.Set(arm.VMPIDR_EL2, 0x8000_0000|uint64(i))
+		v.Online = i == 0 // the boot vCPU; others come up via PSCI CPU_ON
+		vm.VCPUs = append(vm.VCPUs, v)
+	}
+	h.VMs = append(h.VMs, vm)
+	return vm
+}
+
+// HandleTrap implements arm.Handler for the host role: every exception
+// taken to EL2 lands here.
+func (h *Hypervisor) HandleTrap(c *arm.CPU, e *arm.Exception) uint64 {
+	if !h.IsHost() {
+		panic("kvm: guest hypervisor installed as physical EL2 vector")
+	}
+	return h.handleExit(c, e)
+}
+
+// cur returns the loaded context for a core.
+func (h *Hypervisor) cur(c *arm.CPU) *loadedCtx { return &h.loaded[c.ID] }
+
+// RunGuestOS runs fn as the guest OS of vcpu v (a plain VM): the host's
+// top-level vcpu run loop. All hypervisor activity during fn happens via
+// traps.
+func (h *Hypervisor) RunGuestOS(v *VCPU, fn func(g *GuestCtx)) {
+	c := v.PCPU
+	h.enterSwitch(c, v, modeGuestOS)
+	c.RunGuest(h.Level+1, func() { fn(v.Guest) })
+	h.exitSwitchCold(c, v)
+}
+
+// RunNestedGuestOS runs fn as the OS of the nested VM: the vCPU nv of the
+// guest hypervisor's VM, on the physical core that also hosts the
+// corresponding L1 vCPU lv. The stack starts "warm": the guest hypervisor
+// booted and entered its VM, so hardware holds the nested context.
+func (h *Hypervisor) RunNestedGuestOS(lv *VCPU, fn func(g *GuestCtx)) {
+	c := lv.PCPU
+	nv := lv.nestedVCPU()
+	gh := lv.VM.GuestHyp
+	gh.loaded[c.ID] = loadedCtx{vcpu: nv, mode: modeGuestOS}
+	h.loadNestedState(c, lv)
+	h.enterSwitch(c, lv, modeNested)
+	c.RunGuest(h.Level+2, func() { fn(nv.Guest) })
+	h.exitSwitchCold(c, lv)
+}
+
+// RunL3GuestOS runs fn as the OS of the doubly nested (L3) VM, warm-started
+// with every level booted: the guest hypervisor (L1) is running its guest
+// hypervisor's (L2's) VM (recursive virtualization, Section 6.2).
+func (h *Hypervisor) RunL3GuestOS(lv *VCPU, fn func(g *GuestCtx)) {
+	c := lv.PCPU
+	gh1 := lv.VM.GuestHyp
+	nv := lv.nestedVCPU()  // the L2 VM's vCPU, managed by gh1
+	gh2 := nv.VM.GuestHyp  // the hypervisor software inside the L2 VM
+	nnv := nv.nestedVCPU() // the L3 VM's vCPU, managed by gh2
+	if gh2 == nil {
+		panic("kvm: RunL3GuestOS without a recursive stack")
+	}
+	gh2.loaded[c.ID] = loadedCtx{vcpu: nnv, mode: modeGuestOS}
+	gh1.loaded[c.ID] = loadedCtx{vcpu: nv, mode: modeNested}
+	// Cold-start bookkeeping for gh1: it has entered its VM's nested
+	// context (the L3 VM), exactly as its own eret handling would leave it.
+	gh1.loadNestedState(c, nv)
+	lv.VEL2.Set(arm.HCR_EL2, gh1.runHCR(nv, modeNested))
+	lv.VEL2.Set(arm.VTTBR_EL2, gh1.shadowVTTBR(c, nv))
+	lv.VirtEL1 = nnv.EL1
+	if lv.Page.Base != 0 {
+		for _, r := range vncrEL1Regs {
+			h.M.Mem.MustWrite64(lv.Page.Slot(r), lv.VirtEL1.Get(r))
+		}
+		for _, r := range vncrEL2Regs {
+			h.M.Mem.MustWrite64(lv.Page.Slot(r), lv.VEL2.Get(r))
+		}
+	}
+	h.loadNestedState(c, lv)
+	h.enterSwitch(c, lv, modeNested)
+	c.RunGuest(h.Level+3, func() { fn(nnv.Guest) })
+	h.exitSwitchCold(c, lv)
+}
+
+// PreparePeerVM loads vCPU v's guest OS on its core so it can receive
+// IPIs while another vCPU drives a benchmark.
+func (h *Hypervisor) PreparePeerVM(v *VCPU) {
+	h.enterSwitch(v.PCPU, v, modeGuestOS)
+}
+
+// PreparePeerNested loads the nested guest of L1 vCPU lv on its core.
+func (h *Hypervisor) PreparePeerNested(lv *VCPU) {
+	c := lv.PCPU
+	gh := lv.VM.GuestHyp
+	gh.loaded[c.ID] = loadedCtx{vcpu: lv.nestedVCPU(), mode: modeGuestOS}
+	h.loadNestedState(c, lv)
+	h.enterSwitch(c, lv, modeNested)
+}
+
+// enterSwitch loads a context and runs the entry sequence: the host's
+// initial vcpu_load + guest entry.
+func (h *Hypervisor) enterSwitch(c *arm.CPU, v *VCPU, mode runMode) {
+	lc := h.cur(c)
+	lc.vcpu = v
+	lc.mode = mode
+	h.guestEnterSeq(c, v, mode)
+	h.setGuestEnv(c, lc)
+}
+
+// nestedVCPU returns the vCPU of the nested VM corresponding to this L1
+// vCPU (same index; the benchmark configurations pin 1:1).
+func (v *VCPU) nestedVCPU() *VCPU {
+	gh := v.VM.GuestHyp
+	if gh == nil || len(gh.VMs) == 0 {
+		panic("kvm: " + v.String() + " has no nested VM")
+	}
+	nvm := gh.VMs[0]
+	if v.ID >= len(nvm.VCPUs) {
+		panic(fmt.Sprintf("kvm: nested VM has no vcpu %d", v.ID))
+	}
+	return nvm.VCPUs[v.ID]
+}
+
+// exitSwitchCold tears down after a guest's code returns (end of workload);
+// costs are irrelevant (outside measurement), state must be consistent.
+func (h *Hypervisor) exitSwitchCold(c *arm.CPU, v *VCPU) {
+	h.loaded[c.ID] = loadedCtx{}
+	c.VIRQ = nil
+	c.SetReg(arm.HCR_EL2, 0)
+}
+
+// Service delivers pending physical interrupts to the guest loaded on core
+// c by running its idle loop briefly: used by cross-core benchmarks to let
+// a target core receive an IPI at a deterministic point.
+func (h *Hypervisor) Service(c *arm.CPU) {
+	lc := h.cur(c)
+	if lc.vcpu == nil {
+		panic("kvm: Service on idle core")
+	}
+	level := arm.VLevel(1)
+	if lc.mode == modeNested {
+		level = 2
+	}
+	guest := lc.vcpu.Guest
+	if lc.mode == modeNested {
+		guest = lc.vcpu.nestedVCPU().Guest
+	}
+	c.VIRQ = guest
+	c.RunGuest(level, func() { c.Tick(1) })
+}
+
+// neveActive reports whether the guest hypervisor inside vm uses NEVE and
+// the hardware supports it.
+func (h *Hypervisor) neveActive(vm *VM) bool {
+	return vm.GuestHyp != nil && vm.GuestHyp.Cfg.NEVE && h.M.CPUs[0].Feat.NV2
+}
+
+// AttachGuestHypervisor installs gh as the hypervisor software inside vm
+// and prepares virtual EL2 state, deferred access pages, and the nested
+// VM's shadow structures. It leaves the stack "booted": the guest
+// hypervisor has configured its virtual EL2 and created its own VM.
+func (h *Hypervisor) AttachGuestHypervisor(vm *VM, gh *Hypervisor) *VM {
+	if gh.Parent != h {
+		panic("kvm: guest hypervisor parented elsewhere")
+	}
+	vm.GuestHyp = gh
+	gh.home = vm
+	// The nested VM: RAM carved out of vm's own RAM (the guest
+	// hypervisor's IPA space), one vCPU per L1 vCPU, same physical cores.
+	nestedRAM := GuestRAMIPA + mem.Addr(vm.RAMSize/2)
+	nvm := gh.CreateVM(vm.Name+".nested", len(vm.VCPUs), vm.VCPUs[0].PCPU.ID, nestedRAM, vm.RAMSize/4)
+	for _, v := range vm.VCPUs {
+		// Virtual EL2 initial state, as the guest hypervisor's boot set it.
+		v.VEL2.Set(arm.VTTBR_EL2, 0) // programmed at VM entry
+		v.VEL2.Set(arm.VBAR_EL2, 0xffff_0000_8000_0000)
+		v.VEL2.Set(arm.SCTLR_EL2, 0x30c5_1835)
+		v.VEL2.Set(arm.HCR_EL2, h.guestHypHCR(gh))
+		v.VEL2.Set(arm.ICH_VTR_EL2, uint64(usedLRs-1))
+		if h.M.CPUs[0].Feat.NV2 {
+			// The managing hypervisor allocates a deferred access page per
+			// vCPU in its own memory and points VNCR_EL2 at it (Section
+			// 6.1 workflow).
+			v.PageAddr = h.backing().AllocPage()
+			machineAddr, ok := h.ownToMachine(v.PageAddr)
+			if !ok {
+				panic("kvm: deferred access page outside RAM")
+			}
+			v.Page = core.Page{Base: machineAddr}
+		}
+		// The guest hypervisor's boot programmed its VM's Stage-2 root.
+		v.VEL2.Set(arm.VTTBR_EL2, gh.vmVTTBR(nvm))
+		// Nested VM vCPU contexts start from the guest hypervisor's
+		// defaults; the virtual EL1 store begins as a copy.
+		nv := nvm.VCPUs[v.ID]
+		v.VirtEL1 = nv.EL1
+		if v.Page.Base != 0 {
+			// "The host hypervisor populates the deferred access page with
+			// initial values of the registers" (Section 6.1).
+			for _, r := range vncrEL1Regs {
+				h.M.Mem.MustWrite64(v.Page.Slot(r), v.VirtEL1.Get(r))
+			}
+			for _, r := range vncrEL2Regs {
+				h.M.Mem.MustWrite64(v.Page.Slot(r), v.VEL2.Get(r))
+			}
+		}
+	}
+	return nvm
+}
+
+// guestHypHCR is the HCR_EL2 value the guest hypervisor itself programs
+// (into its virtual HCR_EL2) to run its VM.
+func (h *Hypervisor) guestHypHCR(gh *Hypervisor) uint64 {
+	hcr := arm.HCRVM | arm.HCRIMO | arm.HCRFMO | arm.HCRTSC
+	if gh.Cfg.VHE {
+		hcr |= arm.HCRE2H
+	}
+	return hcr
+}

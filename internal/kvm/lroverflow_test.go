@@ -1,0 +1,51 @@
+package kvm
+
+import "testing"
+
+func TestVIRQOverflowDeliversInWaves(t *testing.T) {
+	// More pending virtual interrupts than list registers: the first
+	// usedLRs deliver immediately; the overflow drains on subsequent
+	// entries as slots free up (KVM's overflow queue).
+	s := NewVMStack(StackOptions{CPUs: 2})
+	c1 := s.M.CPUs[1]
+	var got []int
+	v1 := s.VM.VCPUs[1]
+	s.Host.PreparePeerVM(v1)
+	v1.Guest.OnIRQ(func(intid int) { got = append(got, intid) })
+
+	s.RunGuest(0, func(g *GuestCtx) {
+		for i := 0; i <= MaxGuestSGI; i++ { // 8 IPIs > 4 list registers
+			g.SendIPI(1, i)
+		}
+		s.Host.Service(c1)
+		s.Host.Service(c1)
+		s.Host.Service(c1)
+	})
+	if len(got) != MaxGuestSGI+1 {
+		t.Fatalf("delivered %d of %d IPIs: %v", len(got), MaxGuestSGI+1, got)
+	}
+	for i, intid := range got {
+		if intid != i {
+			t.Fatalf("out-of-order delivery: %v", got)
+		}
+	}
+}
+
+func TestVIRQOverflowNested(t *testing.T) {
+	s := NewNestedStack(StackOptions{CPUs: 2, GuestNEVE: true})
+	c1 := s.M.CPUs[1]
+	var got []int
+	s.Host.PreparePeerNested(s.VM.VCPUs[1])
+	s.VM.VCPUs[1].nestedVCPU().Guest.OnIRQ(func(intid int) { got = append(got, intid) })
+	s.RunGuest(0, func(g *GuestCtx) {
+		for i := 0; i < 6; i++ {
+			g.SendIPI(1, i)
+		}
+		for i := 0; i < 4; i++ {
+			s.Host.Service(c1)
+		}
+	})
+	if len(got) != 6 {
+		t.Fatalf("delivered %d of 6 nested IPIs: %v", len(got), got)
+	}
+}

@@ -1,0 +1,209 @@
+package kvm
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// The world-switch sequences must preserve guest state exactly: whatever
+// the guest's EL1 context held before a trap must be back in the hardware
+// registers when the guest resumes — through any number of world switches,
+// at any nesting depth, under any trap-handling regime.
+
+func hwSnapshot(s *Stack) map[arm.SysReg]uint64 {
+	c := s.M.CPUs[0]
+	out := map[arm.SysReg]uint64{}
+	for _, r := range el1CtxRegs {
+		out[r] = c.Reg(r)
+	}
+	for _, r := range el0CtxRegs {
+		out[r] = c.Reg(r)
+	}
+	return out
+}
+
+func TestWorldSwitchPreservesGuestContextVM(t *testing.T) {
+	s := NewVMStack(StackOptions{})
+	s.RunGuest(0, func(g *GuestCtx) {
+		before := hwSnapshot(s)
+		g.Hypercall()
+		after := hwSnapshot(s)
+		for r, v := range before {
+			if after[r] != v {
+				t.Errorf("%s changed across world switch: %#x -> %#x", r, v, after[r])
+			}
+		}
+	})
+}
+
+func TestWorldSwitchPreservesGuestContextNested(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts StackOptions
+	}{
+		{"v8.3", StackOptions{}},
+		{"v8.3-VHE", StackOptions{GuestVHE: true}},
+		{"NEVE", StackOptions{GuestNEVE: true}},
+		{"NEVE-VHE", StackOptions{GuestVHE: true, GuestNEVE: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewNestedStack(tc.opts)
+			s.RunGuest(0, func(g *GuestCtx) {
+				g.Hypercall() // warm
+				before := hwSnapshot(s)
+				g.Hypercall()
+				g.DeviceRead(0)
+				after := hwSnapshot(s)
+				for r, v := range before {
+					if after[r] != v {
+						t.Errorf("%s changed across nested switches: %#x -> %#x", r, v, after[r])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestGuestHypervisorStateSurvives(t *testing.T) {
+	// The guest hypervisor's virtual EL2 state must be stable across many
+	// operations: its vector base, its VM configuration, its VNCR.
+	s := NewNestedStack(StackOptions{GuestNEVE: true})
+	lv := s.VM.VCPUs[0]
+	vbarBefore := lv.VEL2.Get(arm.VBAR_EL2)
+	s.RunGuest(0, func(g *GuestCtx) {
+		for i := 0; i < 8; i++ {
+			g.Hypercall()
+			g.DeviceRead(uint64(i) * 4)
+		}
+	})
+	if got := lv.VEL2.Get(arm.VBAR_EL2); got != vbarBefore {
+		t.Errorf("guest hypervisor VBAR changed: %#x -> %#x", vbarBefore, got)
+	}
+	if lv.VEL2.Get(arm.VTTBR_EL2) == 0 {
+		t.Error("guest hypervisor VTTBR lost")
+	}
+}
+
+func TestTrapReasonComposition(t *testing.T) {
+	// The 126 non-VHE traps decompose as modeled: mostly sysregs, exactly
+	// two erets (to its own host kernel and into the nested VM) and two
+	// hvcs (the nested VM's and the host-kernel-to-lowvisor call).
+	s := NewNestedStack(StackOptions{})
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall()
+		s.M.Trace.Reset()
+		g.Hypercall()
+	})
+	if got := s.M.Trace.Count(trace.ReasonERet); got != 2 {
+		t.Errorf("eret traps = %d, want 2", got)
+	}
+	if got := s.M.Trace.Count(trace.ReasonHVC); got != 2 {
+		t.Errorf("hvc traps = %d, want 2", got)
+	}
+	if got := s.M.Trace.Count(trace.ReasonSysReg); got != 122 {
+		t.Errorf("sysreg traps = %d, want 122", got)
+	}
+}
+
+func TestVHETrapReasonComposition(t *testing.T) {
+	// A VHE guest hypervisor has no lowvisor/host-kernel split: one eret,
+	// one hvc.
+	s := NewNestedStack(StackOptions{GuestVHE: true})
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall()
+		s.M.Trace.Reset()
+		g.Hypercall()
+	})
+	if got := s.M.Trace.Count(trace.ReasonERet); got != 1 {
+		t.Errorf("eret traps = %d, want 1", got)
+	}
+	if got := s.M.Trace.Count(trace.ReasonHVC); got != 1 {
+		t.Errorf("hvc traps = %d, want 1", got)
+	}
+}
+
+func TestNEVEResidualTrapsAreWrites(t *testing.T) {
+	// Section 6: reads of trap-on-write registers come from cached copies;
+	// only writes still trap. Every residual sysreg trap must be a write.
+	s := NewNestedStack(StackOptions{GuestNEVE: true, RecordTrace: true})
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall()
+		s.M.Trace.Reset()
+		g.Hypercall()
+	})
+	for _, ev := range s.M.Trace.Events() {
+		if ev.Reason == trace.ReasonSysReg && len(ev.Detail) > 3 && ev.Detail[:3] == "mrs" {
+			t.Errorf("NEVE residual read trap: %s", ev.Detail)
+		}
+	}
+}
+
+func TestSelfRegVHEMapping(t *testing.T) {
+	h := &Hypervisor{Cfg: Config{VHE: true}}
+	cases := map[arm.SysReg]arm.SysReg{
+		arm.ESR_EL2:     arm.ESR_EL1,
+		arm.CPTR_EL2:    arm.CPACR_EL1,
+		arm.CNTHCTL_EL2: arm.CNTKCTL_EL1,
+		arm.HCR_EL2:     arm.HCR_EL2,   // no EL1 counterpart: stays EL2
+		arm.VTTBR_EL2:   arm.VTTBR_EL2, // no EL1 counterpart
+		arm.TPIDR_EL2:   arm.TPIDR_EL2, // not redirected by E2H
+	}
+	for in, want := range cases {
+		if got := h.selfReg(in); got != want {
+			t.Errorf("VHE selfReg(%s) = %s, want %s", in, got, want)
+		}
+	}
+	nonVHE := &Hypervisor{}
+	if nonVHE.selfReg(arm.ESR_EL2) != arm.ESR_EL2 {
+		t.Error("non-VHE selfReg must be identity")
+	}
+}
+
+func TestVMRegMapping(t *testing.T) {
+	vhe := &Hypervisor{Cfg: Config{VHE: true}}
+	if vhe.vmReg(arm.SCTLR_EL1) != arm.SCTLR_EL12 {
+		t.Error("VHE vmReg(SCTLR_EL1) != SCTLR_EL12")
+	}
+	if vhe.vmReg(arm.PAR_EL1) != arm.PAR_EL1 {
+		t.Error("PAR_EL1 has no EL12 encoding")
+	}
+	plain := &Hypervisor{}
+	if plain.vmReg(arm.SCTLR_EL1) != arm.SCTLR_EL1 {
+		t.Error("non-VHE vmReg must be identity")
+	}
+}
+
+func TestContextAliasResolution(t *testing.T) {
+	var ctx Context
+	ctx.Set(arm.SCTLR_EL12, 0x77)
+	if ctx.Get(arm.SCTLR_EL1) != 0x77 {
+		t.Error("EL12 write not visible through EL1 name")
+	}
+	ctx.Set(arm.CNTV_CTL_EL0, 5)
+	if ctx.Get(arm.CNTV_CTL_EL02) != 5 {
+		t.Error("EL02 alias read failed")
+	}
+}
+
+func TestEL12ForCoversContextList(t *testing.T) {
+	// Every register in the switched EL1 context either has a VHE access
+	// encoding or is deliberately reached another way (documented in
+	// el12For).
+	direct := map[arm.SysReg]bool{
+		arm.CSSELR_EL1: true, arm.ACTLR_EL1: true, arm.PAR_EL1: true,
+		arm.TPIDR_EL1: true, arm.SP_EL1: true,
+	}
+	for _, r := range el1CtxRegs {
+		enc := el12For(r)
+		if enc == r && !direct[r] {
+			t.Errorf("%s lacks an EL12 encoding and is not on the direct list", r)
+		}
+		if enc != r {
+			if arm.Info(enc).Alias != r {
+				t.Errorf("el12For(%s) = %s does not alias back", r, enc)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package kvm
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/arm"
+)
+
+// SMP execution: the benchmark configurations run 4-way SMP guests (paper
+// Section 5). The simulator's cores are synchronous call stacks, so true
+// concurrency is modeled cooperatively: each vCPU's guest program runs in
+// its own goroutine, and a strict token handoff at yield points serializes
+// them deterministically — one runnable vCPU at a time, round-robin.
+
+// smpGuest is one vCPU's program in an SMP run. Yield passes the turn to
+// the next vCPU; Work both burns cycles and yields.
+type smpGuest struct {
+	*GuestCtx
+	sched *smpSched
+	id    int
+}
+
+// Yield hands execution to the next online vCPU.
+func (g *smpGuest) Yield() { g.sched.yield(g.id) }
+
+// Work burns guest cycles, services interrupts, and yields.
+func (g *smpGuest) Work(n uint64) {
+	g.GuestCtx.Work(n)
+	g.Yield()
+}
+
+type smpSched struct {
+	turn []chan struct{}
+	done []bool
+	n    int
+}
+
+func (s *smpSched) yield(id int) {
+	next := s.nextRunnable(id)
+	if next == id {
+		return // nobody else to run
+	}
+	s.turn[next] <- struct{}{}
+	<-s.turn[id]
+}
+
+func (s *smpSched) nextRunnable(id int) int {
+	for i := 1; i <= s.n; i++ {
+		cand := (id + i) % s.n
+		if !s.done[cand] {
+			return cand
+		}
+	}
+	return id
+}
+
+// RunSMP runs one program per vCPU of the innermost VM, interleaved
+// deterministically at Work/Yield points. Programs receive an smpGuest
+// wrapping their vCPU's guest context.
+func (s *Stack) RunSMP(programs []func(g *SMPGuest)) {
+	n := len(programs)
+	if n == 0 {
+		return
+	}
+	if n > len(s.M.CPUs) {
+		panic(fmt.Sprintf("kvm: %d SMP programs for %d cores", n, len(s.M.CPUs)))
+	}
+	sched := &smpSched{n: n, done: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		sched.turn = append(sched.turn, make(chan struct{})) // unbuffered: strict handoff
+	}
+	finished := make(chan int, n)
+
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			// Wait for the turn token before touching any shared state.
+			<-sched.turn[i]
+			s.runOn(i, func(g *GuestCtx) {
+				programs[i](&SMPGuest{smpGuest{GuestCtx: g, sched: sched, id: i}})
+			})
+			sched.done[i] = true
+			// Pass the token on before retiring.
+			if next := sched.nextRunnable(i); next != i {
+				sched.turn[next] <- struct{}{}
+			}
+			finished <- i
+		}()
+	}
+	sched.turn[0] <- struct{}{}
+	for i := 0; i < n; i++ {
+		<-finished
+	}
+}
+
+// SMPGuest is the guest context handed to SMP programs.
+type SMPGuest struct{ smpGuest }
+
+// runOn enters vCPU i's innermost guest on its own core and runs fn.
+func (s *Stack) runOn(i int, fn func(g *GuestCtx)) {
+	if i == 0 {
+		s.RunGuest(0, fn)
+		return
+	}
+	// Secondary vCPUs: load the context chain and run.
+	if s.GuestHyp != nil {
+		lv := s.VM.VCPUs[i]
+		nv := lv.nestedVCPU()
+		s.GuestHyp.loaded[lv.PCPU.ID] = loadedCtx{vcpu: nv, mode: modeGuestOS}
+		s.Host.loadNestedState(lv.PCPU, lv)
+		s.Host.enterSwitch(lv.PCPU, lv, modeNested)
+		lv.PCPU.RunGuest(arm.VLevel(2), func() { fn(nv.Guest) })
+		s.Host.exitSwitchCold(lv.PCPU, lv)
+		return
+	}
+	v := s.VM.VCPUs[i]
+	s.Host.RunGuestOS(v, fn)
+}

@@ -1,0 +1,29 @@
+package kvm
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+)
+
+func TestUnmodifiedGuestHypervisorCrashesOnV80(t *testing.T) {
+	// Section 2: without ARMv8.3 nested virtualization support, running an
+	// unmodified hypervisor deprivileged in EL1 "would typically lead to
+	// an unmodified hypervisor crashing": its first hypervisor instruction
+	// is undefined. The whole point of the paper's paravirtualization —
+	// and of this reproduction's ARMv8.3 mode — is avoiding exactly this.
+	feat := arm.FeaturesV80()
+	s := NewNestedStack(StackOptions{Feat: &feat})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("guest hypervisor ran on ARMv8.0 without crashing")
+		}
+		if _, ok := r.(*arm.UndefError); !ok {
+			t.Fatalf("crash was %v, want *arm.UndefError", r)
+		}
+	}()
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall() // forwarding enters the guest hypervisor's world switch
+	})
+}

@@ -1,0 +1,152 @@
+// Package machine assembles simulated ARM server hardware: cores, physical
+// memory, the GIC distributor, per-core generic timers and virtual CPU
+// interfaces, a Stage-2 MMU, and a physical device bus — the substrate the
+// hypervisor model in package kvm runs on, standing in for the paper's HP
+// Moonshot m400 nodes.
+package machine
+
+import (
+	"bytes"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/core"
+	"github.com/nevesim/neve/internal/gic"
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/mmu"
+	"github.com/nevesim/neve/internal/timer"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// Device is a memory-mapped peripheral on the physical bus.
+type Device interface {
+	Access(c *arm.CPU, pa mem.Addr, write bool, size int, val *uint64) bool
+}
+
+// Bus dispatches physical accesses to devices; it implements arm.PhysBus.
+type Bus struct {
+	devs []Device
+}
+
+// Add attaches a device.
+func (b *Bus) Add(d Device) { b.devs = append(b.devs, d) }
+
+// Access implements arm.PhysBus.
+func (b *Bus) Access(c *arm.CPU, pa mem.Addr, write bool, size int, val *uint64) bool {
+	for _, d := range b.devs {
+		if d.Access(c, pa, write, size, val) {
+			return true
+		}
+	}
+	return false
+}
+
+// UARTBase is the console device window.
+const UARTBase mem.Addr = 0x0900_0000
+
+// UART is a write-only console device, used by examples.
+type UART struct {
+	buf bytes.Buffer
+}
+
+// Access implements Device.
+func (u *UART) Access(c *arm.CPU, pa mem.Addr, write bool, size int, val *uint64) bool {
+	if pa < UARTBase || pa >= UARTBase+mem.PageSize {
+		return false
+	}
+	if write {
+		u.buf.WriteByte(byte(*val))
+	} else {
+		*val = 0
+	}
+	return true
+}
+
+// Output returns everything written to the console.
+func (u *UART) Output() string { return u.buf.String() }
+
+// Config describes the hardware to build.
+type Config struct {
+	// CPUs is the core count (the paper's m400 has 8).
+	CPUs int
+	// MemBytes bounds installed RAM; 0 means unbounded.
+	MemBytes uint64
+	// Feat selects the architecture revision.
+	Feat arm.Features
+	// RecordTrace retains individual trap events (cmd/nevetrace).
+	RecordTrace bool
+	// NV2 overrides the NEVE engine configuration (ablations); nil with
+	// Feat.NV2 set means full NEVE.
+	NV2 *core.Engine
+}
+
+// Machine is the assembled hardware.
+type Machine struct {
+	Mem    *mem.Memory
+	CPUs   []*arm.CPU
+	Dist   *gic.Dist
+	Timers []*timer.Timer
+	S2     *mmu.Stage2
+	Bus    *Bus
+	UART   *UART
+	Trace  *trace.Collector
+}
+
+// New builds and wires a machine.
+func New(cfg Config) *Machine {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	m := &Machine{
+		Mem:   mem.New(mem.Addr(cfg.MemBytes)),
+		Bus:   &Bus{},
+		UART:  &UART{},
+		Trace: trace.NewCollector(cfg.RecordTrace),
+	}
+	m.S2 = mmu.NewStage2(m.Mem)
+	m.Dist = gic.NewDist()
+	m.Bus.Add(m.Dist)
+	m.Bus.Add(gic.HostIfc{})
+	m.Bus.Add(m.UART)
+	for i := 0; i < cfg.CPUs; i++ {
+		c := arm.NewCPU(i, m.Mem, cfg.Feat)
+		c.Trace = m.Trace
+		c.Bus = m.Bus
+		c.S2 = m.S2
+		if cfg.Feat.NV2 {
+			// The CPU implements NEVE (ARMv8.4 FEAT_NV2).
+			engine := core.Engine{}
+			if cfg.NV2 != nil {
+				engine = *cfg.NV2
+			}
+			c.NV2 = engine
+		}
+		tm := timer.New(m.Dist)
+		c.AddDevice(tm)
+		c.AddDevice(&gic.VCPUIfc{Dist: m.Dist})
+		m.CPUs = append(m.CPUs, c)
+		m.Timers = append(m.Timers, tm)
+		m.Dist.AddTarget(c)
+	}
+	m.Dist.EnableAll()
+	return m
+}
+
+// Sync evaluates time-driven devices (timers) on every core. Benchmarks
+// call it at deterministic points between core steps.
+func (m *Machine) Sync() {
+	for i, c := range m.CPUs {
+		m.Timers[i].Check(c)
+	}
+}
+
+// TotalCycles returns the maximum cycle count across cores, the machine's
+// notion of elapsed time.
+func (m *Machine) TotalCycles() uint64 {
+	var max uint64
+	for _, c := range m.CPUs {
+		if c.Cycles() > max {
+			max = c.Cycles()
+		}
+	}
+	return max
+}

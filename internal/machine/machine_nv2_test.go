@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/core"
+)
+
+func TestNV2EngineAttachedWithFeature(t *testing.T) {
+	m := New(Config{CPUs: 1, Feat: arm.FeaturesV84()})
+	if m.CPUs[0].NV2 == nil {
+		t.Fatal("FEAT_NV2 CPU has no NEVE engine")
+	}
+	m83 := New(Config{CPUs: 1, Feat: arm.FeaturesV83()})
+	if m83.CPUs[0].NV2 != nil {
+		t.Fatal("v8.3 CPU has a NEVE engine")
+	}
+}
+
+func TestNV2AblationOverride(t *testing.T) {
+	eng := core.Engine{DisableDefer: true}
+	m := New(Config{CPUs: 2, Feat: arm.FeaturesV84(), NV2: &eng})
+	for i, c := range m.CPUs {
+		got, ok := c.NV2.(core.Engine)
+		if !ok || !got.DisableDefer {
+			t.Fatalf("cpu %d engine = %#v", i, c.NV2)
+		}
+	}
+}
+
+func TestGICHWindowOnBus(t *testing.T) {
+	m := New(Config{CPUs: 1, Feat: arm.FeaturesV83()})
+	c := m.CPUs[0]
+	c.SetReg(arm.ICH_VMCR_EL2, 0x99)
+	var val uint64
+	// GICH_VMCR offset 0x8 in the host interface window.
+	if !m.Bus.Access(c, 0x0801_0008, false, 4, &val) {
+		t.Fatal("GICH window not on the bus")
+	}
+	if val != 0x99 {
+		t.Fatalf("GICH read = %#x", val)
+	}
+}

@@ -1,0 +1,76 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/gic"
+)
+
+func TestNewWiresCores(t *testing.T) {
+	m := New(Config{CPUs: 4, Feat: arm.FeaturesV83()})
+	if len(m.CPUs) != 4 || len(m.Timers) != 4 {
+		t.Fatalf("cores = %d timers = %d", len(m.CPUs), len(m.Timers))
+	}
+	for i, c := range m.CPUs {
+		if c.ID != i {
+			t.Fatalf("cpu %d has ID %d", i, c.ID)
+		}
+		if c.Bus == nil || c.S2 == nil || c.Trace != m.Trace {
+			t.Fatalf("cpu %d not wired", i)
+		}
+	}
+}
+
+func TestDefaultsToOneCore(t *testing.T) {
+	m := New(Config{})
+	if len(m.CPUs) != 1 {
+		t.Fatalf("cores = %d", len(m.CPUs))
+	}
+}
+
+func TestUARTCapturesWrites(t *testing.T) {
+	m := New(Config{CPUs: 1, Feat: arm.FeaturesV83()})
+	c := m.CPUs[0]
+	for _, b := range []byte("hi") {
+		v := uint64(b)
+		if !m.Bus.Access(c, UARTBase, true, 1, &v) {
+			t.Fatal("UART not claimed")
+		}
+	}
+	if m.UART.Output() != "hi" {
+		t.Fatalf("UART output = %q", m.UART.Output())
+	}
+}
+
+func TestDistReachableOverBus(t *testing.T) {
+	m := New(Config{CPUs: 2, Feat: arm.FeaturesV83()})
+	v := uint64(1<<16 | 2) // SGI 2 to core 1
+	if !m.Bus.Access(m.CPUs[0], gic.DistBase+gic.RegSGIR, true, 4, &v) {
+		t.Fatal("distributor not on bus")
+	}
+	if !m.CPUs[1].HasPendingIRQ() {
+		t.Fatal("SGI not pending on target core")
+	}
+}
+
+func TestSyncFiresTimers(t *testing.T) {
+	m := New(Config{CPUs: 1, Feat: arm.FeaturesV83()})
+	c := m.CPUs[0]
+	c.MSR(arm.CNTV_CVAL_EL0, 0)
+	c.MSR(arm.CNTV_CTL_EL0, 1)
+	c.AddCycles(100)
+	m.Sync()
+	if !c.HasPendingIRQ() {
+		t.Fatal("timer PPI not pending after Sync")
+	}
+}
+
+func TestTotalCycles(t *testing.T) {
+	m := New(Config{CPUs: 2, Feat: arm.FeaturesV83()})
+	m.CPUs[0].AddCycles(10)
+	m.CPUs[1].AddCycles(30)
+	if got := m.TotalCycles(); got != 30 {
+		t.Fatalf("TotalCycles = %d", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package mem models the physical memory of a simulated machine.
+//
+// Memory is a sparse map of 4 KiB pages addressed by physical address. It
+// backs guest RAM, all page tables walked by the MMU model, and the NEVE
+// deferred access page (VNCR_EL2.BADDR), so a "register access rewritten to
+// a memory access" (paper Section 6.1) really lands in the same storage a
+// hypervisor would read back later.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageShift is log2 of the page size. The paper's systems all use 4 KiB
+// granules; NEVE mandates a page-aligned VNCR_EL2.BADDR (Section 6.3).
+const PageShift = 12
+
+// PageSize is the size of a physical page in bytes.
+const PageSize = 1 << PageShift
+
+// PageMask masks the offset within a page.
+const PageMask = PageSize - 1
+
+// Addr is a physical address. Distinct levels of the nested stack use
+// distinct meanings (L0 machine address, L1 "physical" address, ...); the
+// MMU model translates between them.
+type Addr uint64
+
+// PageBase returns the address of the page containing a.
+func (a Addr) PageBase() Addr { return a &^ Addr(PageMask) }
+
+// PageOff returns the offset of a within its page.
+func (a Addr) PageOff() uint64 { return uint64(a) & PageMask }
+
+// Memory is a sparse physical memory. The zero value is not usable; call
+// New.
+type Memory struct {
+	pages map[Addr]*[PageSize]byte
+	// allocNext is the bump pointer used by AllocPage.
+	allocNext Addr
+	// limit, if nonzero, bounds the highest addressable byte.
+	limit Addr
+}
+
+// New returns an empty memory. If limit is nonzero, accesses at or above
+// limit fail, modeling a machine with that much installed RAM.
+func New(limit Addr) *Memory {
+	return &Memory{
+		pages: make(map[Addr]*[PageSize]byte),
+		limit: limit,
+	}
+}
+
+// ErrBadAddress reports an access outside installed memory.
+type ErrBadAddress struct {
+	Addr Addr
+	Size int
+}
+
+func (e *ErrBadAddress) Error() string {
+	return fmt.Sprintf("physical access of %d bytes at %#x outside installed memory", e.Size, uint64(e.Addr))
+}
+
+func (m *Memory) check(a Addr, size int) error {
+	if size <= 0 || size > PageSize {
+		return &ErrBadAddress{Addr: a, Size: size}
+	}
+	end := uint64(a) + uint64(size)
+	if m.limit != 0 && end > uint64(m.limit) {
+		return &ErrBadAddress{Addr: a, Size: size}
+	}
+	if a.PageBase() != Addr(end-1).PageBase() {
+		// Accesses never straddle a page in the modeled software: system
+		// register slots in the VNCR page are naturally aligned, and the
+		// page table walkers issue aligned 8-byte descriptor accesses.
+		return &ErrBadAddress{Addr: a, Size: size}
+	}
+	return nil
+}
+
+func (m *Memory) page(a Addr, allocate bool) *[PageSize]byte {
+	base := a.PageBase()
+	p := m.pages[base]
+	if p == nil && allocate {
+		p = new([PageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// Read64 reads a naturally aligned 64-bit little-endian value.
+func (m *Memory) Read64(a Addr) (uint64, error) {
+	if err := m.check(a, 8); err != nil {
+		return 0, err
+	}
+	p := m.page(a, false)
+	if p == nil {
+		return 0, nil // unwritten memory reads as zero
+	}
+	off := a.PageOff()
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[off+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write64 writes a naturally aligned 64-bit little-endian value.
+func (m *Memory) Write64(a Addr, v uint64) error {
+	if err := m.check(a, 8); err != nil {
+		return err
+	}
+	p := m.page(a, true)
+	off := a.PageOff()
+	for i := 0; i < 8; i++ {
+		p[off+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// Read32 reads a naturally aligned 32-bit little-endian value.
+func (m *Memory) Read32(a Addr) (uint32, error) {
+	if err := m.check(a, 4); err != nil {
+		return 0, err
+	}
+	p := m.page(a, false)
+	if p == nil {
+		return 0, nil
+	}
+	off := a.PageOff()
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(p[off+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write32 writes a naturally aligned 32-bit little-endian value.
+func (m *Memory) Write32(a Addr, v uint32) error {
+	if err := m.check(a, 4); err != nil {
+		return err
+	}
+	p := m.page(a, true)
+	off := a.PageOff()
+	for i := 0; i < 4; i++ {
+		p[off+uint64(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// MustRead64 is Read64 panicking on error; used by modeled hardware paths
+// (hardware never sees an invalid physical address it generated itself).
+func (m *Memory) MustRead64(a Addr) uint64 {
+	v, err := m.Read64(a)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustWrite64 is Write64 panicking on error.
+func (m *Memory) MustWrite64(a Addr, v uint64) {
+	if err := m.Write64(a, v); err != nil {
+		panic(err)
+	}
+}
+
+// AllocPage returns the base address of a fresh, zeroed page. Pages are
+// handed out from a bump allocator starting at 1 MiB (leaving low memory
+// for fixed device windows in the machine model).
+func (m *Memory) AllocPage() Addr {
+	if m.allocNext == 0 {
+		m.allocNext = 1 << 20
+	}
+	for {
+		a := m.allocNext
+		m.allocNext += PageSize
+		if m.limit != 0 && uint64(a)+PageSize > uint64(m.limit) {
+			panic("mem: out of physical memory")
+		}
+		if _, busy := m.pages[a]; busy {
+			continue
+		}
+		m.pages[a] = new([PageSize]byte)
+		return a
+	}
+}
+
+// ZeroPage clears the page containing a.
+func (m *Memory) ZeroPage(a Addr) {
+	if p := m.page(a, false); p != nil {
+		*p = [PageSize]byte{}
+	}
+}
+
+// PopulatedPages returns the sorted base addresses of all written pages,
+// for tests and diagnostics.
+func (m *Memory) PopulatedPages() []Addr {
+	out := make([]Addr, 0, len(m.pages))
+	for a := range m.pages {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

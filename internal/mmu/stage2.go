@@ -1,0 +1,60 @@
+package mmu
+
+import (
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+// VTTBR_EL2 encoding: BADDR in bits [47:1], VMID in bits [63:48].
+const (
+	vttbrAddrMask uint64 = 0x0000fffffffffffe
+	vttbrVMIDSift        = 48
+)
+
+// MakeVTTBR builds a VTTBR_EL2 value.
+func MakeVTTBR(root mem.Addr, vmid uint16) uint64 {
+	return uint64(root)&vttbrAddrMask | uint64(vmid)<<vttbrVMIDSift
+}
+
+// VTTBRRoot extracts the Stage-2 root table address.
+func VTTBRRoot(v uint64) mem.Addr { return mem.Addr(v & vttbrAddrMask) }
+
+// VTTBRVMID extracts the VMID.
+func VTTBRVMID(v uint64) uint16 { return uint16(v >> vttbrVMIDSift) }
+
+// Stage2 is the Stage-2 MMU hardware: it translates guest physical
+// addresses through the tables currently programmed in VTTBR_EL2, caching
+// results in a VMID-tagged TLB. It implements arm.Stage2.
+type Stage2 struct {
+	Mem *mem.Memory
+	TLB *TLB
+	// WalkCost is the cycle cost per descriptor read on a TLB miss.
+	WalkCost uint64
+}
+
+// NewStage2 returns a Stage-2 MMU over m.
+func NewStage2(m *mem.Memory) *Stage2 {
+	return &Stage2{Mem: m, TLB: NewTLB(512), WalkCost: 4}
+}
+
+// Translate implements arm.Stage2.
+func (s *Stage2) Translate(c *arm.CPU, ipa mem.Addr, write bool) (mem.Addr, bool) {
+	vttbr := c.Reg(arm.VTTBR_EL2)
+	vmid := VTTBRVMID(vttbr)
+	if pa, perm, ok := s.TLB.Lookup(vmid, ipa); ok {
+		if write && perm&PermW == 0 {
+			return 0, false
+		}
+		return pa, true
+	}
+	res, ok := Walk(s.Mem, VTTBRRoot(vttbr), ipa, nil)
+	c.AddCycles(uint64(res.Steps) * s.WalkCost)
+	if !ok {
+		return 0, false
+	}
+	if write && res.Perm&PermW == 0 {
+		return 0, false
+	}
+	s.TLB.Insert(vmid, ipa, res.OA, res.Perm)
+	return res.OA, true
+}

@@ -1,0 +1,97 @@
+package mmu
+
+import "github.com/nevesim/neve/internal/mem"
+
+// TLB is a VMID-tagged translation lookaside buffer for Stage-2
+// translations. Capacity eviction is FIFO, keeping the simulation
+// deterministic.
+type TLB struct {
+	cap     int
+	entries map[tlbKey]tlbEntry
+	fifo    []tlbKey
+	hits    uint64
+	misses  uint64
+}
+
+type tlbKey struct {
+	vmid uint16
+	page mem.Addr
+}
+
+type tlbEntry struct {
+	oaPage mem.Addr
+	perm   Perm
+}
+
+// NewTLB returns a TLB with the given entry capacity.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &TLB{cap: capacity, entries: make(map[tlbKey]tlbEntry, capacity)}
+}
+
+// Lookup returns the cached translation of ia under vmid.
+func (t *TLB) Lookup(vmid uint16, ia mem.Addr) (mem.Addr, Perm, bool) {
+	e, ok := t.entries[tlbKey{vmid, ia.PageBase()}]
+	if !ok {
+		t.misses++
+		return 0, 0, false
+	}
+	t.hits++
+	return e.oaPage + mem.Addr(ia.PageOff()), e.perm, true
+}
+
+// Insert caches a translation.
+func (t *TLB) Insert(vmid uint16, ia, oa mem.Addr, perm Perm) {
+	k := tlbKey{vmid, ia.PageBase()}
+	if _, exists := t.entries[k]; !exists {
+		for len(t.entries) >= t.cap {
+			victim := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			delete(t.entries, victim)
+		}
+		t.fifo = append(t.fifo, k)
+	}
+	t.entries[k] = tlbEntry{oaPage: oa.PageBase(), perm: perm}
+}
+
+// FlushVMID invalidates all entries tagged with vmid (TLBI VMALLS12E1).
+func (t *TLB) FlushVMID(vmid uint16) {
+	kept := t.fifo[:0]
+	for _, k := range t.fifo {
+		if k.vmid == vmid {
+			delete(t.entries, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	t.fifo = kept
+}
+
+// FlushPage invalidates one page's entry (TLBI IPAS2E1).
+func (t *TLB) FlushPage(vmid uint16, ia mem.Addr) {
+	k := tlbKey{vmid, ia.PageBase()}
+	if _, ok := t.entries[k]; !ok {
+		return
+	}
+	delete(t.entries, k)
+	for i, fk := range t.fifo {
+		if fk == k {
+			t.fifo = append(t.fifo[:i], t.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// FlushAll invalidates everything (TLBI ALLE1).
+func (t *TLB) FlushAll() {
+	t.entries = make(map[tlbKey]tlbEntry, t.cap)
+	t.fifo = t.fifo[:0]
+}
+
+// Stats returns hit and miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Len returns the number of cached entries.
+func (t *TLB) Len() int { return len(t.entries) }

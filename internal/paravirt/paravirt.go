@@ -1,0 +1,194 @@
+// Package paravirt implements the paper's methodological contribution
+// (Section 3): using paravirtualization to prototype and evaluate new
+// architectural features on existing hardware. A hypervisor's privileged
+// instructions are replaced — at the source level, as the paper's wrappers
+// do, here on instruction descriptor streams — with hvc instructions whose
+// 16-bit immediate encodes the replaced instruction. On ARMv8.0 hardware,
+// where the original instructions would fail improperly at EL1, the
+// replacements trap to EL2 exactly as the originals would on ARMv8.3, at
+// the same cost (Section 5 validates trap-cost interchangeability).
+package paravirt
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/arm"
+)
+
+// OpKind is the kind of a privileged instruction.
+type OpKind uint8
+
+const (
+	// OpMRS is a system register read.
+	OpMRS OpKind = iota
+	// OpMSR is a system register write.
+	OpMSR
+	// OpERet is an exception return.
+	OpERet
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMRS:
+		return "mrs"
+	case OpMSR:
+		return "msr"
+	case OpERet:
+		return "eret"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one privileged instruction in a hypervisor instruction stream.
+type Op struct {
+	Kind OpKind
+	Reg  arm.SysReg
+	// Val is the value for writes.
+	Val uint64
+	// HVC marks an op that has been rewritten to an hvc instruction with
+	// the encoded immediate.
+	HVC bool
+	Imm uint16
+}
+
+// Immediate encoding: bit 15 marks a paravirtualized instruction (so the
+// host can distinguish them from ordinary hypercalls), bit 14..13 carry the
+// kind, bits 12..0 the register identifier.
+const (
+	// ImmFlag marks a paravirtualization immediate.
+	ImmFlag uint16 = 1 << 15
+
+	immKindShift        = 13
+	immKindMask  uint16 = 3 << immKindShift
+	immRegMask   uint16 = 1<<immKindShift - 1
+)
+
+// Encode builds the hvc immediate for a replaced instruction.
+func Encode(kind OpKind, reg arm.SysReg) uint16 {
+	if uint16(reg) > immRegMask {
+		panic(fmt.Sprintf("paravirt: register id %d does not fit the immediate", reg))
+	}
+	return ImmFlag | uint16(kind)<<immKindShift | uint16(reg)
+}
+
+// IsEncoded reports whether an hvc immediate carries a paravirtualized
+// instruction.
+func IsEncoded(imm uint16) bool { return imm&ImmFlag != 0 }
+
+// Decode recovers the replaced instruction from an hvc immediate.
+func Decode(imm uint16) (OpKind, arm.SysReg, error) {
+	if !IsEncoded(imm) {
+		return 0, 0, fmt.Errorf("paravirt: immediate %#x is not an encoded instruction", imm)
+	}
+	kind := OpKind(imm & immKindMask >> immKindShift)
+	if kind > OpERet {
+		return 0, 0, fmt.Errorf("paravirt: immediate %#x has invalid kind", imm)
+	}
+	reg := arm.SysReg(imm & immRegMask)
+	if kind != OpERet {
+		if reg == arm.RegInvalid || int(reg) >= arm.NumSysRegs {
+			return 0, 0, fmt.Errorf("paravirt: immediate %#x has invalid register", imm)
+		}
+	}
+	return kind, reg, nil
+}
+
+// NeedsRewrite reports whether an instruction must be paravirtualized to
+// run a hypervisor deprivileged at EL1 on hardware without ARMv8.3 nested
+// virtualization support. The four kinds of Section 4:
+//
+//  1. EL2-only instructions (undefined at EL1 on ARMv8.0);
+//  2. EL1 accesses by a non-VHE hypervisor (they would clobber its own
+//     state);
+//  3. eret and CurrentEL;
+//  4. VHE-added instructions (*_EL12/*_EL02, undefined on ARMv8.0).
+func NeedsRewrite(op Op, vhe bool) bool {
+	switch op.Kind {
+	case OpERet:
+		return true
+	case OpMRS, OpMSR:
+		info := arm.Info(op.Reg)
+		if info.Min == arm.EL2 || info.EL2Access || info.VHEOnly {
+			return true
+		}
+		if info.Min == arm.EL1 && !vhe && !info.ReadOnly {
+			// Kind 2: only the non-VHE design touches EL1 registers that
+			// belong to its VM while deprivileged (Section 4).
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Rewrite returns the paravirtualized form of a hypervisor instruction
+// stream: instructions that would fail at EL1 on ARMv8.0 are replaced by
+// hvc instructions with encoded immediates; the rest pass through. The
+// original stream is not modified (the paper's compile-time wrappers leave
+// the hypervisor logic untouched).
+func Rewrite(stream []Op, vhe bool) []Op {
+	out := make([]Op, len(stream))
+	for i, op := range stream {
+		out[i] = op
+		if NeedsRewrite(op, vhe) {
+			out[i].HVC = true
+			out[i].Imm = Encode(op.Kind, op.Reg)
+		}
+	}
+	return out
+}
+
+// Exec runs one (possibly rewritten) instruction on a CPU as deprivileged
+// guest hypervisor code. Reads return the value obtained.
+func Exec(c *arm.CPU, op Op) uint64 {
+	if op.HVC {
+		return c.HVC(op.Imm)
+	}
+	switch op.Kind {
+	case OpMRS:
+		return c.MRS(op.Reg)
+	case OpMSR:
+		c.MSR(op.Reg, op.Val)
+		return 0
+	case OpERet:
+		c.ERET()
+		return 0
+	default:
+		panic("paravirt: unknown op")
+	}
+}
+
+// ExecStream runs a stream, returning the values produced by reads.
+func ExecStream(c *arm.CPU, stream []Op) []uint64 {
+	var reads []uint64
+	for _, op := range stream {
+		v := Exec(c, op)
+		if op.Kind == OpMRS {
+			reads = append(reads, v)
+		}
+	}
+	return reads
+}
+
+// ToException converts a decoded paravirtualization hvc back into the
+// exception the original instruction would have raised under ARMv8.3, so
+// the host hypervisor's existing trap-and-emulate path handles both
+// identically (the paper's host-side change).
+func ToException(imm uint16, val uint64) (*arm.Exception, error) {
+	kind, reg, err := Decode(imm)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case OpERet:
+		return &arm.Exception{EC: arm.ECERet}, nil
+	case OpMRS:
+		return &arm.Exception{EC: arm.ECSysReg, Reg: reg}, nil
+	case OpMSR:
+		return &arm.Exception{EC: arm.ECSysReg, Reg: reg, Write: true, Val: val}, nil
+	default:
+		return nil, fmt.Errorf("paravirt: unreachable kind %v", kind)
+	}
+}

@@ -1,0 +1,124 @@
+package timer
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/gic"
+	"github.com/nevesim/neve/internal/mem"
+)
+
+type sink struct{ got []int }
+
+func (s *sink) AssertIRQ(intid int) { s.got = append(s.got, intid) }
+
+func newTimerCPU() (*arm.CPU, *Timer, *sink) {
+	s := &sink{}
+	d := gic.NewDist(s)
+	d.EnableAll()
+	c := arm.NewCPU(0, mem.New(0), arm.FeaturesV83())
+	tm := New(d)
+	c.AddDevice(tm)
+	return c, tm, s
+}
+
+func TestCounterReads(t *testing.T) {
+	c, _, _ := newTimerCPU()
+	c.AddCycles(1000)
+	if got := c.MRS(arm.CNTPCT_EL0); got < 1000 {
+		t.Fatalf("CNTPCT = %d, want >= 1000", got)
+	}
+	c.MSR(arm.CNTVOFF_EL2, 600)
+	vct := c.MRS(arm.CNTVCT_EL0)
+	if want := c.Cycles() - 600; vct != want {
+		t.Fatalf("CNTVOFF not applied: vct=%d want %d", vct, want)
+	}
+}
+
+func TestVirtualTimerFires(t *testing.T) {
+	c, tm, s := newTimerCPU()
+	c.MSR(arm.CNTV_CVAL_EL0, c.Cycles()+500)
+	c.MSR(arm.CNTV_CTL_EL0, CtlEnable)
+	tm.Check(c)
+	if len(s.got) != 0 {
+		t.Fatal("timer fired early")
+	}
+	c.AddCycles(1000)
+	tm.Check(c)
+	if len(s.got) != 1 || s.got[0] != gic.VTimerINTID {
+		t.Fatalf("delivery = %v", s.got)
+	}
+	if c.Reg(arm.CNTV_CTL_EL0)&CtlIStat == 0 {
+		t.Fatal("ISTATUS not set")
+	}
+	// Level output does not retrigger while expired.
+	tm.Check(c)
+	if len(s.got) != 1 {
+		t.Fatalf("retriggered: %v", s.got)
+	}
+}
+
+func TestMaskedTimerDoesNotFire(t *testing.T) {
+	c, tm, s := newTimerCPU()
+	c.MSR(arm.CNTV_CVAL_EL0, 0)
+	c.MSR(arm.CNTV_CTL_EL0, CtlEnable|CtlIMask)
+	c.AddCycles(100)
+	tm.Check(c)
+	if len(s.got) != 0 {
+		t.Fatalf("masked timer fired: %v", s.got)
+	}
+	if c.Reg(arm.CNTV_CTL_EL0)&CtlIStat == 0 {
+		t.Fatal("ISTATUS should still be set while masked")
+	}
+}
+
+func TestReprogrammingRearms(t *testing.T) {
+	c, tm, s := newTimerCPU()
+	c.MSR(arm.CNTV_CVAL_EL0, 0)
+	c.MSR(arm.CNTV_CTL_EL0, CtlEnable)
+	c.AddCycles(10)
+	tm.Check(c)
+	if len(s.got) != 1 {
+		t.Fatalf("first expiry = %v", s.got)
+	}
+	// Move the compare value into the future: condition clears, rearm.
+	c.MSR(arm.CNTV_CVAL_EL0, c.Cycles()+10000)
+	if c.Reg(arm.CNTV_CTL_EL0)&CtlIStat != 0 {
+		t.Fatal("ISTATUS not cleared after reprogram")
+	}
+	c.AddCycles(20000)
+	tm.Check(c)
+	if len(s.got) != 2 {
+		t.Fatalf("second expiry = %v", s.got)
+	}
+	// A transient disable/enable of the same deadline (the hypervisor's
+	// world switch) must not re-fire.
+	c.MSR(arm.CNTV_CTL_EL0, 0)
+	c.MSR(arm.CNTV_CTL_EL0, CtlEnable)
+	tm.Check(c)
+	if len(s.got) != 2 {
+		t.Fatalf("disable/enable re-fired: %v", s.got)
+	}
+}
+
+func TestHypTimerFires(t *testing.T) {
+	c, tm, s := newTimerCPU()
+	c.MSR(arm.CNTHP_CVAL_EL2, 0)
+	c.MSR(arm.CNTHP_CTL_EL2, CtlEnable)
+	c.AddCycles(10)
+	tm.Check(c)
+	if len(s.got) != 1 || s.got[0] != gic.HypTimerINTID {
+		t.Fatalf("hyp timer delivery = %v", s.got)
+	}
+}
+
+func TestVHETimerExists(t *testing.T) {
+	c, tm, s := newTimerCPU()
+	c.MSR(arm.CNTHV_CVAL_EL2, 0)
+	c.MSR(arm.CNTHV_CTL_EL2, CtlEnable)
+	c.AddCycles(10)
+	tm.Check(c)
+	if len(s.got) != 1 || s.got[0] != 28 {
+		t.Fatalf("EL2 virtual timer delivery = %v", s.got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace provides exit/trap counters and cycle breakdowns for the
+// simulator. Every experiment in the paper reports either cycle counts
+// (Tables 1 and 6), trap counts (Table 7), or normalized overhead built from
+// cycle counts (Figure 2); this package is the single collection point.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reason classifies why control transferred to a hypervisor. The enumeration
+// mirrors the trap sources discussed in the paper: system register accesses
+// (Section 6), ERET interception (Section 4), hypercalls, stage-2 faults
+// (memory-mapped device and GICv2 accesses), interrupts, and the x86
+// VMX exit reasons used by the comparator.
+type Reason int
+
+const (
+	ReasonNone Reason = iota
+	ReasonSysReg
+	ReasonERet
+	ReasonHVC
+	ReasonStage2Fault
+	ReasonIRQ
+	ReasonWFx
+	ReasonSMC
+	ReasonTimer
+	ReasonMMIO
+	ReasonVMCall
+	ReasonVMRead
+	ReasonVMWrite
+	ReasonVMPtrLd
+	ReasonVMResume
+	ReasonEPTViolation
+	ReasonExtInt
+	ReasonMSRAccess
+	numReasons
+)
+
+var reasonNames = [...]string{
+	ReasonNone:         "none",
+	ReasonSysReg:       "sysreg",
+	ReasonERet:         "eret",
+	ReasonHVC:          "hvc",
+	ReasonStage2Fault:  "stage2-fault",
+	ReasonIRQ:          "irq",
+	ReasonWFx:          "wfx",
+	ReasonSMC:          "smc",
+	ReasonTimer:        "timer",
+	ReasonMMIO:         "mmio",
+	ReasonVMCall:       "vmcall",
+	ReasonVMRead:       "vmread",
+	ReasonVMWrite:      "vmwrite",
+	ReasonVMPtrLd:      "vmptrld",
+	ReasonVMResume:     "vmresume",
+	ReasonEPTViolation: "ept-violation",
+	ReasonExtInt:       "external-interrupt",
+	ReasonMSRAccess:    "msr-access",
+}
+
+func (r Reason) String() string {
+	if r < 0 || int(r) >= len(reasonNames) {
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+	return reasonNames[r]
+}
+
+// Event records one trap to a hypervisor.
+type Event struct {
+	Reason Reason
+	// Detail identifies the trapped object, e.g. the system register name.
+	Detail string
+	// FromLevel is the virtualization level that trapped (2 = L2 guest, 1 =
+	// L1 guest hypervisor); ToLevel is the handling hypervisor (0 = host).
+	FromLevel, ToLevel int
+	// Cycle is the per-core cycle count when the trap was taken.
+	Cycle uint64
+}
+
+// Collector accumulates trap events and cycle attribution. The zero value is
+// ready to use. Collector is not safe for concurrent use; the machine model
+// steps cores deterministically on one goroutine.
+type Collector struct {
+	events   []Event
+	byReason [numReasons]uint64
+	byDetail map[string]uint64
+	enabled  bool
+	record   bool
+}
+
+// NewCollector returns a counting collector. If recordEvents is true the
+// individual events are retained for trace dumps (cmd/nevetrace); otherwise
+// only counts are kept, which is what the benchmarks use.
+func NewCollector(recordEvents bool) *Collector {
+	return &Collector{
+		byDetail: make(map[string]uint64),
+		enabled:  true,
+		record:   recordEvents,
+	}
+}
+
+// SetEnabled turns collection on or off, returning the previous state.
+// The microbenchmarks warm up paths with collection off and then measure.
+func (c *Collector) SetEnabled(on bool) bool {
+	prev := c.enabled
+	c.enabled = on
+	return prev
+}
+
+// Trap records one trap event.
+func (c *Collector) Trap(ev Event) {
+	if c == nil || !c.enabled {
+		return
+	}
+	if ev.Reason >= 0 && ev.Reason < numReasons {
+		c.byReason[ev.Reason]++
+	}
+	if ev.Detail != "" {
+		c.byDetail[ev.Detail]++
+	}
+	if c.record {
+		c.events = append(c.events, ev)
+	}
+}
+
+// Total returns the total number of traps recorded.
+func (c *Collector) Total() uint64 {
+	var t uint64
+	for _, n := range c.byReason {
+		t += n
+	}
+	return t
+}
+
+// Count returns the number of traps recorded for one reason.
+func (c *Collector) Count(r Reason) uint64 {
+	if r < 0 || r >= numReasons {
+		return 0
+	}
+	return c.byReason[r]
+}
+
+// DetailCount returns the number of traps recorded for one detail string.
+func (c *Collector) DetailCount(detail string) uint64 {
+	return c.byDetail[detail]
+}
+
+// Events returns the retained events (nil unless recording was requested).
+func (c *Collector) Events() []Event {
+	return c.events
+}
+
+// Reset clears all counts and events.
+func (c *Collector) Reset() {
+	c.events = c.events[:0]
+	c.byReason = [numReasons]uint64{}
+	for k := range c.byDetail {
+		delete(c.byDetail, k)
+	}
+}
+
+// Summary renders a per-reason and per-detail breakdown, most frequent
+// first, as used by cmd/nevetrace.
+func (c *Collector) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total traps: %d\n", c.Total())
+	for r := Reason(1); r < numReasons; r++ {
+		if n := c.byReason[r]; n > 0 {
+			fmt.Fprintf(&b, "  %-20s %6d\n", r.String(), n)
+		}
+	}
+	type kv struct {
+		k string
+		v uint64
+	}
+	details := make([]kv, 0, len(c.byDetail))
+	for k, v := range c.byDetail {
+		details = append(details, kv{k, v})
+	}
+	sort.Slice(details, func(i, j int) bool {
+		if details[i].v != details[j].v {
+			return details[i].v > details[j].v
+		}
+		return details[i].k < details[j].k
+	})
+	if len(details) > 0 {
+		b.WriteString("by detail:\n")
+		for _, d := range details {
+			fmt.Fprintf(&b, "  %-24s %6d\n", d.k, d.v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountsByReasonAndDetail(t *testing.T) {
+	c := NewCollector(false)
+	c.Trap(Event{Reason: ReasonSysReg, Detail: "msr HCR_EL2"})
+	c.Trap(Event{Reason: ReasonSysReg, Detail: "msr HCR_EL2"})
+	c.Trap(Event{Reason: ReasonERet, Detail: "eret"})
+	if got := c.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+	if got := c.Count(ReasonSysReg); got != 2 {
+		t.Fatalf("Count(sysreg) = %d, want 2", got)
+	}
+	if got := c.DetailCount("msr HCR_EL2"); got != 2 {
+		t.Fatalf("DetailCount = %d, want 2", got)
+	}
+	if got := c.Events(); got != nil {
+		t.Fatalf("non-recording collector retained events: %v", got)
+	}
+}
+
+func TestRecordingRetainsEvents(t *testing.T) {
+	c := NewCollector(true)
+	c.Trap(Event{Reason: ReasonHVC, Detail: "hvc #0", FromLevel: 2, Cycle: 100})
+	evs := c.Events()
+	if len(evs) != 1 || evs[0].FromLevel != 2 || evs[0].Cycle != 100 {
+		t.Fatalf("Events = %+v", evs)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	c := NewCollector(false)
+	if prev := c.SetEnabled(false); !prev {
+		t.Fatal("collector not enabled initially")
+	}
+	c.Trap(Event{Reason: ReasonHVC})
+	if c.Total() != 0 {
+		t.Fatal("disabled collector counted a trap")
+	}
+	c.SetEnabled(true)
+	c.Trap(Event{Reason: ReasonHVC})
+	if c.Total() != 1 {
+		t.Fatal("re-enabled collector did not count")
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.Trap(Event{Reason: ReasonHVC}) // must not panic
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector(true)
+	c.Trap(Event{Reason: ReasonHVC, Detail: "hvc #1"})
+	c.Reset()
+	if c.Total() != 0 || len(c.Events()) != 0 || c.DetailCount("hvc #1") != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestSummaryMentionsReasonsAndDetails(t *testing.T) {
+	c := NewCollector(false)
+	c.Trap(Event{Reason: ReasonSysReg, Detail: "msr VTTBR_EL2"})
+	s := c.Summary()
+	if !strings.Contains(s, "sysreg") || !strings.Contains(s, "msr VTTBR_EL2") {
+		t.Fatalf("Summary missing content:\n%s", s)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	if ReasonSysReg.String() != "sysreg" {
+		t.Fatalf("ReasonSysReg = %q", ReasonSysReg.String())
+	}
+	if got := Reason(999).String(); !strings.Contains(got, "999") {
+		t.Fatalf("out-of-range Reason = %q", got)
+	}
+}

@@ -1,0 +1,123 @@
+package virtio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/nevesim/neve/internal/mem"
+)
+
+type flat struct{ m map[uint64]uint64 }
+
+func newFlat() flat                         { return flat{m: map[uint64]uint64{}} }
+func (f flat) Read64(a mem.Addr) uint64     { return f.m[uint64(a)] }
+func (f flat) Write64(a mem.Addr, v uint64) { f.m[uint64(a)] = v }
+
+func TestDriverDeviceRoundTrip(t *testing.T) {
+	m := newFlat()
+	ring := Ring{Mem: m, Base: 0x4000}
+	drv := &Driver{Ring: ring}
+	dev := &Echo{Ring: ring}
+
+	const buf = mem.Addr(0x9000)
+	m.Write64(buf, 0x5555)
+	id := drv.Submit(buf, 8)
+
+	if n := dev.Drain(); n != 1 {
+		t.Fatalf("Drain = %d, want 1", n)
+	}
+	if got := m.Read64(buf); got != ^uint64(0x5555) {
+		t.Fatalf("buffer after echo = %#x", got)
+	}
+	done, ok := drv.Completed()
+	if !ok || done != id {
+		t.Fatalf("Completed = %d,%v, want %d,true", done, ok, id)
+	}
+	if _, ok := drv.Completed(); ok {
+		t.Fatal("spurious second completion")
+	}
+}
+
+func TestDrainConsumesBatch(t *testing.T) {
+	m := newFlat()
+	ring := Ring{Mem: m, Base: 0x4000}
+	drv := &Driver{Ring: ring}
+	dev := &Echo{Ring: ring}
+	for i := 0; i < 5; i++ {
+		m.Write64(mem.Addr(0x9000+i*64), uint64(i))
+		drv.Submit(mem.Addr(0x9000+i*64), 8)
+	}
+	if n := dev.Drain(); n != 5 {
+		t.Fatalf("Drain = %d, want 5 (batched)", n)
+	}
+	if n := dev.Drain(); n != 0 {
+		t.Fatalf("second Drain = %d, want 0", n)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := drv.Completed(); !ok {
+			t.Fatalf("completion %d missing", i)
+		}
+	}
+	if dev.Processed != 5 {
+		t.Fatalf("Processed = %d", dev.Processed)
+	}
+}
+
+func TestDrainSetsInterruptStatus(t *testing.T) {
+	m := newFlat()
+	ring := Ring{Mem: m, Base: 0}
+	drv := &Driver{Ring: ring}
+	dev := &Echo{Ring: ring}
+	if dev.Drain(); dev.IntStatus != 0 {
+		t.Fatal("interrupt status set with empty queue")
+	}
+	drv.Submit(0x8000, 8)
+	dev.Drain()
+	if dev.IntStatus&1 == 0 {
+		t.Fatal("interrupt status not set after completion")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	m := newFlat()
+	ring := Ring{Mem: m, Base: 0x4000}
+	drv := &Driver{Ring: ring}
+	dev := &Echo{Ring: ring}
+	// Push more than QueueSize buffers through in sequence: indices wrap.
+	for i := 0; i < 3*QueueSize; i++ {
+		m.Write64(0x9000, uint64(i))
+		drv.Submit(0x9000, 8)
+		if dev.Drain() != 1 {
+			t.Fatalf("round %d: drain failed", i)
+		}
+		if got := m.Read64(0x9000); got != ^uint64(i) {
+			t.Fatalf("round %d: echo = %#x", i, got)
+		}
+		if _, ok := drv.Completed(); !ok {
+			t.Fatalf("round %d: no completion", i)
+		}
+	}
+}
+
+func TestDescBoundsPanic(t *testing.T) {
+	ring := Ring{Mem: newFlat(), Base: 0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range descriptor accepted")
+		}
+	}()
+	ring.WriteDesc(QueueSize, Desc{})
+}
+
+func TestQuickDescRoundTrip(t *testing.T) {
+	ring := Ring{Mem: newFlat(), Base: 0x1000}
+	f := func(i uint8, addr uint32, length uint32, flags uint16, next uint8) bool {
+		idx := uint16(i) % QueueSize
+		d := Desc{Addr: mem.Addr(addr), Len: length, Flags: flags, Next: uint16(next)}
+		ring.WriteDesc(idx, d)
+		return ring.ReadDesc(idx) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

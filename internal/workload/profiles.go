@@ -1,0 +1,109 @@
+package workload
+
+// The application benchmarks of Table 8, modeled as event mixes. Rates are
+// derived from the workloads' characters the paper describes: CPU-intensive
+// workloads (kernbench, SPECjvm) interact rarely with the hypervisor;
+// hackbench is IPI-dominated ("the OS frequently sends IPIs to synchronize
+// and schedule tasks across CPU cores"); the network workloads are
+// dominated by device interrupts and notifications ("the high overhead is
+// likely due to the high frequency of interrupts caused by many incoming
+// network packets", Section 7.2).
+
+// Profiles returns the ten application benchmarks in Figure 2's order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name:        "kernbench",
+			Description: "Compilation of the Linux kernel (allnoconfig, GCC)",
+			Ops:         40, OpWork: 1_000_000,
+			HypercallsPerOp: 0.05,
+			RXPerOp:         0.10,
+			TXPerOp:         0.15, BackendWork: 8_000,
+			IPIPerOp: 0.45,
+		},
+		{
+			Name:        "hackbench",
+			Description: "Unix domain sockets, 100 process groups, 500 loops",
+			Ops:         300, OpWork: 40_000,
+			HypercallsPerOp: 0.10,
+			IPIPerOp:        1.0, // scheduler IPIs dominate
+		},
+		{
+			Name:        "SPECjvm2008",
+			Description: "Java Runtime Environment real-life applications",
+			Ops:         30, OpWork: 2_000_000,
+			HypercallsPerOp: 0.10,
+			RXPerOp:         0.05,
+			TXPerOp:         0.10, BackendWork: 8_000,
+			IPIPerOp: 0.45,
+		},
+		{
+			Name:        "TCP_RR",
+			Description: "netperf request-response (latency)",
+			Ops:         400, OpWork: 30_000,
+			RXPerOp:    1.0, // one RX interrupt per transaction
+			RXCoalesce: 30_000,
+			TXPerOp:    1.0, BackendWork: 5_000,
+		},
+		{
+			Name:        "TCP_STREAM",
+			Description: "netperf receive throughput",
+			Ops:         400, OpWork: 42_000,
+			RXPerOp: 0.80, RXCoalesce: 38_000,
+			TXPerOp: 0.25, BackendWork: 10_000,
+		},
+		{
+			Name:        "TCP_MAERTS",
+			Description: "netperf transmit throughput",
+			Ops:         400, OpWork: 26_000,
+			RXPerOp: 0.80, RXCoalesce: 50_000, // transmit completions, batched
+			TXPerOp: 1.0, BackendWork: 14_000,
+			IPIPerOp: 0.9, WakeThreshold: 150_000, // vhost wakeups when stalled
+		},
+		{
+			Name:        "Apache",
+			Description: "ApacheBench, 41 KB file, 10 concurrent requests",
+			Ops:         300, OpWork: 34_000,
+			HypercallsPerOp: 0.05,
+			RXPerOp:         0.9, RXCoalesce: 52_000,
+			TXPerOp: 1.0, BackendWork: 12_000,
+			IPIPerOp: 0.7, WakeThreshold: 150_000,
+		},
+		{
+			Name:        "Nginx",
+			Description: "Siege, 41 KB file, 8 concurrent requests",
+			Ops:         300, OpWork: 38_000,
+			HypercallsPerOp: 0.05,
+			RXPerOp:         0.8, RXCoalesce: 56_000,
+			TXPerOp: 1.0, BackendWork: 12_000,
+			IPIPerOp: 0.6, WakeThreshold: 150_000,
+		},
+		{
+			Name:        "Memcached",
+			Description: "memtier benchmark, default parameters",
+			Ops:         400, OpWork: 22_000,
+			RXPerOp: 1.0, RXCoalesce: 48_000, // one request per RX interrupt, batched under load
+			TXPerOp: 1.0, BackendWork: 9_000,
+			IPIPerOp: 1.0, WakeThreshold: 150_000,
+		},
+		{
+			Name:        "MySQL",
+			Description: "SysBench, 200 parallel transactions",
+			Ops:         150, OpWork: 110_000,
+			HypercallsPerOp: 0.10,
+			RXPerOp:         0.6, RXCoalesce: 60_000,
+			TXPerOp: 0.8, BackendWork: 10_000,
+			IPIPerOp: 0.8, WakeThreshold: 150_000,
+		},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

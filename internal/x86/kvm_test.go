@@ -1,0 +1,157 @@
+package x86
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/trace"
+)
+
+func TestForwardCopiesGuestStateToVMCS12(t *testing.T) {
+	s := NewStack(StackOptions{Nested: true, Shadowing: true})
+	lv := s.VM.VCPUs[0]
+	// Seed recognizable guest state in the hardware VMCS (vmcs02).
+	lv.vmcs.Write(s.Mem, GuestCR3, 0xc3c3)
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall()
+	})
+	if got := lv.vmcs12.Read(s.Mem, GuestCR3); got != 0xc3c3 {
+		t.Fatalf("vmcs12 GuestCR3 = %#x, want the forwarded 0xc3c3", got)
+	}
+	if got := lv.vmcs12.Read(s.Mem, ExitReason); got != uint64(ExitVMCall) {
+		t.Fatalf("vmcs12 ExitReason = %d, want vmcall", got)
+	}
+}
+
+func TestMergeAppliesVMCS12Changes(t *testing.T) {
+	s := NewStack(StackOptions{Nested: true, Shadowing: true})
+	lv := s.VM.VCPUs[0]
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall()
+	})
+	// The guest hypervisor advanced the nested RIP through the shadow
+	// VMCS; the merge must have folded it into the hardware VMCS.
+	rip02 := lv.vmcs.Read(s.Mem, GuestRIP)
+	rip12 := lv.vmcs12.Read(s.Mem, GuestRIP)
+	if rip02 != rip12 {
+		t.Fatalf("merge did not fold GuestRIP: vmcs02 %#x vs vmcs12 %#x", rip02, rip12)
+	}
+	if rip02 == 0 {
+		t.Fatal("GuestRIP never advanced")
+	}
+}
+
+func TestNestedTrapReasons(t *testing.T) {
+	s := NewStack(StackOptions{Nested: true, Shadowing: true, RecordTrace: true})
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.Hypercall()
+		s.Trace.Reset()
+		g.Hypercall()
+	})
+	if got := s.Trace.Count(trace.ReasonVMCall); got != 1 {
+		t.Errorf("vmcall exits = %d, want 1", got)
+	}
+	if got := s.Trace.Count(trace.ReasonVMResume); got != 1 {
+		t.Errorf("vmresume exits = %d, want 1", got)
+	}
+	if got := s.Trace.Count(trace.ReasonVMWrite); got != 2 {
+		t.Errorf("unshadowed vmwrite exits = %d, want 2 (intr-info, EPTP)", got)
+	}
+	if got := s.Trace.Count(trace.ReasonMSRAccess); got != 1 {
+		t.Errorf("MSR exits = %d, want 1 (TSC deadline)", got)
+	}
+}
+
+func TestVMIPIPostedDeliveryNoExit(t *testing.T) {
+	s := NewStack(StackOptions{CPUs: 2, Shadowing: true})
+	got := []int{}
+	target := s.LoadTarget(1)
+	target.OnIRQ(func(v int) { got = append(got, v) })
+	s.RunGuest(0, func(g *GuestCtx) {
+		s.Trace.Reset()
+		g.SendIPI(1, 0x55)
+		s.Service(1)
+	})
+	if len(got) != 1 || got[0] != 0x55 {
+		t.Fatalf("delivered = %v", got)
+	}
+	// Only the sender's ICR write exits: APICv posts the interrupt into
+	// the running receiver without a VM exit.
+	if s.Trace.Total() != 1 {
+		t.Fatalf("exits = %d, want 1 (posted-interrupt delivery)", s.Trace.Total())
+	}
+}
+
+func TestNestedIPIDelivery(t *testing.T) {
+	s := NewStack(StackOptions{CPUs: 2, Nested: true, Shadowing: true})
+	got := []int{}
+	target := s.LoadTarget(1)
+	target.OnIRQ(func(v int) { got = append(got, v) })
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.SendIPI(1, 0x66)
+		s.Service(1)
+		g.SendIPI(1, 0x67)
+		s.Service(1)
+	})
+	if len(got) != 2 || got[0] != 0x66 || got[1] != 0x67 {
+		t.Fatalf("delivered = %v", got)
+	}
+}
+
+func TestMixedWorkloadX86(t *testing.T) {
+	for _, nested := range []bool{false, true} {
+		s := NewStack(StackOptions{Nested: nested, Shadowing: true})
+		s.RunGuest(0, func(g *GuestCtx) {
+			for i := 0; i < 40; i++ {
+				switch i % 3 {
+				case 0:
+					g.Hypercall()
+				case 1:
+					if g.DeviceRead(uint64(i)*8) == 0 {
+						t.Fatalf("nested=%v op %d: device value lost", nested, i)
+					}
+				case 2:
+					g.Work(5000)
+				}
+			}
+		})
+	}
+}
+
+func TestX86Determinism(t *testing.T) {
+	run := func() uint64 {
+		s := NewStack(StackOptions{Nested: true, Shadowing: true})
+		s.RunGuest(0, func(g *GuestCtx) {
+			for i := 0; i < 10; i++ {
+				g.Hypercall()
+			}
+		})
+		return s.CPUs[0].Cycles()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestDeviceIRQReachesNestedX86Guest(t *testing.T) {
+	s := NewStack(StackOptions{Nested: true, Shadowing: true})
+	got := []int{}
+	s.RunGuest(0, func(g *GuestCtx) {
+		g.OnIRQ(func(v int) { got = append(got, v) })
+		g.CPU.AssertIRQ(0x51)
+		g.Work(300)
+	})
+	if len(got) != 1 || got[0] != 0x51 {
+		t.Fatalf("delivered = %v, want [0x51=81]", got)
+	}
+}
+
+func TestExitReasonStrings(t *testing.T) {
+	for r, want := range map[ExitReasonCode]string{
+		ExitVMCall: "vmcall", ExitVMResume: "vmresume",
+		ExitEPTViolation: "ept-violation", ExitMSRWrite: "msr-write",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package neve is a simulation-based reproduction of "NEVE: Nested
+// Virtualization Extensions for ARM" (Lim, Dall, Li, Nieh, Zyngier —
+// SOSP 2017).
+//
+// The package exposes the reproduction's public surface:
+//
+//   - assembling the paper's virtualization stacks (KVM/ARM as host and
+//     guest hypervisor on a simulated ARMv8 machine, with ARMv8.3 nested
+//     virtualization or the proposed NEVE extension; KVM x86 with VMCS
+//     shadowing as the comparison point);
+//   - running the paper's microbenchmarks and application workloads;
+//   - regenerating every evaluation table and figure (Tables 1, 6, 7 and
+//     Figure 2).
+//
+// The heavy lifting lives in the internal packages: internal/arm (the
+// ARMv8 privileged architecture model), internal/core (NEVE itself),
+// internal/kvm and internal/x86 (the hypervisor models), internal/mmu,
+// internal/gic, internal/timer, internal/machine (the substrates),
+// internal/workload and internal/bench (the evaluation harness). See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package neve
+
+import (
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/bench"
+	"github.com/nevesim/neve/internal/core"
+	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/workload"
+	"github.com/nevesim/neve/internal/x86"
+)
+
+// Stack assembly.
+
+// ARMStackOptions selects an ARM stack configuration.
+type ARMStackOptions = kvm.StackOptions
+
+// ARMStack is an assembled ARM virtualization stack.
+type ARMStack = kvm.Stack
+
+// GuestCtx is the ARM guest OS execution context handed to workload
+// callbacks: it exposes the privileged operations a guest performs
+// (hypercalls, device I/O, IPIs) and its cycle counter.
+type GuestCtx = kvm.GuestCtx
+
+// X86GuestCtx is the x86 equivalent of GuestCtx.
+type X86GuestCtx = x86.GuestCtx
+
+// NewARMVMStack builds the single-level "VM" configuration.
+func NewARMVMStack(opts ARMStackOptions) *ARMStack { return kvm.NewVMStack(opts) }
+
+// NewARMNestedStack builds the nested configuration (Figure 1(c)): host
+// KVM, guest KVM (optionally VHE and/or NEVE), nested VM.
+func NewARMNestedStack(opts ARMStackOptions) *ARMStack { return kvm.NewNestedStack(opts) }
+
+// NewARMRecursiveStack builds the recursive configuration of Section 6.2:
+// a second guest hypervisor inside the nested VM running an L3 VM.
+func NewARMRecursiveStack(opts ARMStackOptions) *ARMStack { return kvm.NewRecursiveStack(opts) }
+
+// X86StackOptions selects an x86 stack configuration.
+type X86StackOptions = x86.StackOptions
+
+// X86Stack is an assembled x86 (VT-x) stack.
+type X86Stack = x86.Stack
+
+// NewX86Stack builds an x86 stack (plain or nested, Turtles-style).
+func NewX86Stack(opts X86StackOptions) *X86Stack { return x86.NewStack(opts) }
+
+// Architecture feature levels.
+
+// FeaturesV80 is the paper's evaluation hardware (no VHE, no NV).
+var FeaturesV80 = arm.FeaturesV80
+
+// FeaturesV83 adds ARMv8.3 nested virtualization support.
+var FeaturesV83 = arm.FeaturesV83
+
+// FeaturesV84 adds NEVE (FEAT_NV2).
+var FeaturesV84 = arm.FeaturesV84
+
+// NEVE architecture surface (Section 6.1).
+
+// NEVERule is the NEVE policy for one system register (Tables 3-5).
+type NEVERule = core.Rule
+
+// NEVERules returns the full register classification in table order.
+func NEVERules() []NEVERule { return core.Rules() }
+
+// Evaluation harness.
+
+// ConfigID identifies one evaluated configuration (Figure 2's legend).
+type ConfigID = bench.ConfigID
+
+// The evaluated configurations.
+const (
+	ARMVM         = bench.ARMVM
+	ARMNested     = bench.ARMNested
+	ARMNestedVHE  = bench.ARMNestedVHE
+	NEVENested    = bench.NEVENested
+	NEVENestedVHE = bench.NEVENestedVHE
+	X86VM         = bench.X86VM
+	X86Nested     = bench.X86Nested
+)
+
+// MicroOp selects a microbenchmark (Table 1/6/7 rows).
+type MicroOp = bench.MicroOp
+
+// The microbenchmarks.
+const (
+	Hypercall  = bench.Hypercall
+	DeviceIO   = bench.DeviceIO
+	VirtualIPI = bench.VirtualIPI
+	VirtualEOI = bench.VirtualEOI
+)
+
+// RunMicro measures one microbenchmark on one configuration, returning
+// cycles and traps to the host hypervisor.
+func RunMicro(id ConfigID, op MicroOp) (cycles, traps uint64) {
+	return bench.RunMicro(id, op)
+}
+
+// Profile is one application benchmark's event-mix model (Table 8).
+type Profile = workload.Profile
+
+// Profiles returns the ten application benchmarks.
+func Profiles() []Profile { return workload.Profiles() }
+
+// RunApp runs one application profile on one configuration, returning its
+// overhead normalized to native execution (Figure 2's y axis).
+func RunApp(id ConfigID, p Profile) (overhead float64, res workload.Result) {
+	return bench.RunApp(id, p)
+}
+
+// Table and figure regeneration.
+
+// MicroResult is one measured microbenchmark cell.
+type MicroResult = bench.MicroResult
+
+// RunAllMicro measures every microbenchmark on every configuration.
+func RunAllMicro() []MicroResult { return bench.RunAllMicro() }
+
+// AppResult is one Figure 2 cell.
+type AppResult = bench.AppResult
+
+// RunFigure2 measures every application workload on every configuration.
+func RunFigure2() []AppResult { return bench.RunFigure2() }
+
+// FormatTable1 renders Table 1 (measured vs paper).
+func FormatTable1(r []MicroResult) string { return bench.FormatTable1(r) }
+
+// FormatTable6 renders Table 6 (measured vs paper).
+func FormatTable6(r []MicroResult) string { return bench.FormatTable6(r) }
+
+// FormatTable7 renders Table 7 (measured vs paper).
+func FormatTable7(r []MicroResult) string { return bench.FormatTable7(r) }
+
+// FormatFigure2 renders Figure 2 as a table of normalized overheads.
+func FormatFigure2(r []AppResult) string { return bench.FormatFigure2(r) }
+
+// Extensions beyond the paper's own experiments.
+
+// AblationResult is one NEVE-mechanism-subset measurement.
+type AblationResult = bench.AblationResult
+
+// RunAblation measures a nested hypercall under every subset of NEVE's
+// three mechanisms (Section 6), attributing the win.
+func RunAblation(vhe bool) []AblationResult { return bench.RunAblation(vhe) }
+
+// OptimizedVHEResult is one row of the Section 7.1 projection experiment.
+type OptimizedVHEResult = bench.OptimizedVHEResult
+
+// RunOptimizedVHE evaluates the optimized VHE guest hypervisor with NEVE
+// against x86 with VMCS shadowing.
+func RunOptimizedVHE() []OptimizedVHEResult { return bench.RunOptimizedVHE() }

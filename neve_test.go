@@ -1,0 +1,103 @@
+package neve
+
+import (
+	"strings"
+	"testing"
+)
+
+// Facade tests: the public API surface works end to end.
+
+func TestPublicStacks(t *testing.T) {
+	vm := NewARMVMStack(ARMStackOptions{})
+	vm.RunGuest(0, func(g *GuestCtx) { g.Hypercall() })
+
+	nested := NewARMNestedStack(ARMStackOptions{GuestNEVE: true})
+	nested.RunGuest(0, func(g *GuestCtx) { g.Hypercall() })
+	if nested.M.Trace.Total() == 0 {
+		t.Error("nested stack recorded no traps")
+	}
+
+	rec := NewARMRecursiveStack(ARMStackOptions{GuestNEVE: true})
+	rec.RunGuest(0, func(g *GuestCtx) { g.Hypercall() })
+
+	x := NewX86Stack(X86StackOptions{Nested: true, Shadowing: true})
+	x.RunGuest(0, func(g *X86GuestCtx) { g.Hypercall() })
+}
+
+func TestPublicRunMicroTable7Row(t *testing.T) {
+	want := map[ConfigID]uint64{
+		ARMNested: 126, ARMNestedVHE: 82,
+		NEVENested: 15, NEVENestedVHE: 15, X86Nested: 5,
+	}
+	for cfg, traps := range want {
+		_, got := RunMicro(cfg, Hypercall)
+		if got != traps {
+			t.Errorf("%s hypercall traps = %d, want %d", cfg, got, traps)
+		}
+	}
+}
+
+func TestPublicFeatureLevels(t *testing.T) {
+	if FeaturesV80().NV || !FeaturesV84().NV2 {
+		t.Error("feature constructors wrong")
+	}
+}
+
+func TestPublicNEVERules(t *testing.T) {
+	rules := NEVERules()
+	if len(rules) < 60 {
+		t.Fatalf("NEVERules = %d entries, want the full Tables 3-5 surface", len(rules))
+	}
+}
+
+func TestPublicProfilesAndRunApp(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 10 {
+		t.Fatalf("Profiles = %d, want 10", len(ps))
+	}
+	overhead, res := RunApp(NEVENested, ps[0]) // kernbench: cheap
+	if overhead < 1.0 || overhead > 2.0 {
+		t.Errorf("kernbench NEVE overhead = %.2f", overhead)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles measured")
+	}
+}
+
+func TestPublicFormatters(t *testing.T) {
+	micro := []MicroResult{{Op: Hypercall, Config: ARMNested, Cycles: 419531, Traps: 126}}
+	if !strings.Contains(FormatTable1(micro), "Table 1") {
+		t.Error("FormatTable1 broken")
+	}
+	if !strings.Contains(FormatTable7(micro), "126") {
+		t.Error("FormatTable7 broken")
+	}
+}
+
+func TestPublicTableRegeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	micro := RunAllMicro()
+	if len(micro) != 4*len([]ConfigID{ARMVM, ARMNested, ARMNestedVHE, NEVENested, NEVENestedVHE, X86VM, X86Nested}) {
+		t.Fatalf("RunAllMicro = %d cells", len(micro))
+	}
+	if s := FormatTable6(micro); !strings.Contains(s, "Table 6") {
+		t.Error("FormatTable6 broken")
+	}
+	fig := RunFigure2()
+	if s := FormatFigure2(fig); !strings.Contains(s, "Memcached") {
+		t.Error("FormatFigure2 broken")
+	}
+}
+
+func TestPublicAblations(t *testing.T) {
+	ab := RunAblation(false)
+	if len(ab) != 6 {
+		t.Fatalf("RunAblation = %d variants", len(ab))
+	}
+	ov := RunOptimizedVHE()
+	if len(ov) != 3 {
+		t.Fatalf("RunOptimizedVHE = %d rows", len(ov))
+	}
+}
