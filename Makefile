@@ -1,0 +1,34 @@
+# Build/test/CI entry points. `make ci` is the gate: vet plus the full
+# test suite under the race detector — load-bearing now that the
+# experiment harness fans cells across goroutines.
+
+GO ?= go
+
+.PHONY: all build test race vet ci bench bench-json
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The harness's worker pool makes -race load-bearing: any shared mutable
+# state in bench/kvm/x86 shows up here.
+race:
+	$(GO) test -race ./...
+
+ci: vet race
+
+# Go benchmarks for the simulator's own speed (not the paper's numbers).
+bench:
+	$(GO) test -run=NONE -bench 'BenchmarkMemoryReadWrite|BenchmarkTLB' ./internal/mem/ ./internal/mmu/
+	$(GO) test -run=NONE -bench 'BenchmarkFig2|BenchmarkMicro' -benchtime 1x ./internal/bench/
+
+# Machine-readable perf trajectory: writes BENCH_<date>.json.
+bench-json:
+	$(GO) run ./cmd/nevesim bench -json

@@ -6,7 +6,12 @@
 //	nevesim table7    Table 7: traps to the host hypervisor
 //	nevesim fig2      Figure 2: application benchmark overhead
 //	nevesim trapcost  Section 5: trap-cost interchangeability validation
+//	nevesim bench     time the suites; -json writes BENCH_<date>.json
 //	nevesim all       everything above
+//
+// Experiment cells run across a worker pool (every cell builds its own
+// simulated machine, and results are order- and value-identical to a
+// sequential run); -parallel N overrides the GOMAXPROCS default.
 package main
 
 import (
@@ -22,13 +27,15 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nevesim [table1|table6|table7|table8|fig2|events|trapcost|ablation|optvhe|recursive|all]")
+	fmt.Fprintln(os.Stderr, "usage: nevesim [-parallel N] [table1|table6|table7|table8|fig2|events|trapcost|ablation|optvhe|recursive|bench|all]")
 	os.Exit(2)
 }
 
 func main() {
 	flag.Usage = usage
+	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS)")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
@@ -55,6 +62,8 @@ func main() {
 		fmt.Print(bench.FormatTable8())
 	case "recursive":
 		recursive()
+	case "bench":
+		benchReport(flag.Args()[1:])
 	case "all":
 		micro := bench.RunAllMicro()
 		fmt.Print(bench.FormatTable1(micro))
@@ -72,6 +81,24 @@ func main() {
 		fmt.Print(bench.FormatOptimizedVHE(bench.RunOptimizedVHE()))
 	default:
 		usage()
+	}
+}
+
+// benchReport times the suites; with -json it writes BENCH_<date>.json in
+// the current directory for cross-PR performance tracking.
+func benchReport(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "write BENCH_<date>.json")
+	fs.Parse(args)
+	r := bench.RunBenchReport()
+	fmt.Print(bench.FormatReport(r))
+	if *jsonOut {
+		name := r.Filename()
+		if err := os.WriteFile(name, r.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "nevesim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", name)
 	}
 }
 

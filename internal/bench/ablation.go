@@ -44,9 +44,10 @@ type AblationResult struct {
 
 // RunAblation measures a nested hypercall under every mechanism subset.
 func RunAblation(vhe bool) []AblationResult {
-	var out []AblationResult
-	for _, v := range AblationVariants() {
-		engine := v.Engine
+	variants := AblationVariants()
+	out := make([]AblationResult, len(variants))
+	forEachCell(len(out), func(i int) {
+		engine := variants[i].Engine
 		s := kvm.NewNestedStack(kvm.StackOptions{
 			GuestVHE:     vhe,
 			GuestNEVE:    true,
@@ -60,8 +61,8 @@ func RunAblation(vhe bool) []AblationResult {
 			g.Hypercall()
 			cycles = g.CPU.Cycles() - before
 		})
-		out = append(out, AblationResult{Variant: v.Name, VHE: vhe, Cycles: cycles, Traps: s.M.Trace.Total()})
-	}
+		out[i] = AblationResult{Variant: variants[i].Name, VHE: vhe, Cycles: cycles, Traps: s.M.Trace.Total()}
+	})
 	return out
 }
 

@@ -24,13 +24,13 @@ type EventRow struct {
 // RunFigure2Events collects event counts for a subset of configurations
 // (the interesting columns of the anomaly analysis).
 func RunFigure2Events(configs []ConfigID) []EventRow {
-	var out []EventRow
-	for _, p := range workload.Profiles() {
-		for _, cfg := range configs {
-			ov, res := RunApp(cfg, p)
-			out = append(out, EventRow{Workload: p.Name, Config: cfg, Result: res, Overhead: ov})
-		}
-	}
+	profiles := workload.Profiles()
+	out := make([]EventRow, len(profiles)*len(configs))
+	forEachCell(len(out), func(i int) {
+		p, cfg := profiles[i/len(configs)], configs[i%len(configs)]
+		ov, res := RunApp(cfg, p)
+		out[i] = EventRow{Workload: p.Name, Config: cfg, Result: res, Overhead: ov}
+	})
 	return out
 }
 

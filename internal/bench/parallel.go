@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel execution of experiment cells. Every cell (one configuration x
+// one benchmark) assembles its own kvm.Stack or x86.Stack from scratch, so
+// cells share no mutable state and can run on independent goroutines. The
+// fan-out is deterministic by construction: workers pull cell indices from
+// an atomic counter and write results into a pre-indexed slice, so the
+// output order — and every simulated cycle and trap count — is identical
+// to a sequential run. TestParallelMatchesSequential enforces this.
+
+// parallelism is the configured worker count; 0 selects GOMAXPROCS.
+var parallelism atomic.Int32
+
+// SetParallelism sets the number of workers used by RunAllMicro,
+// RunFigure2, RunFigure2Events and RunAblation. n <= 0 restores the
+// default (GOMAXPROCS).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachCell runs task(0..n-1) across the worker pool. Tasks must be
+// independent; each writes only its own result slot. With one worker the
+// loop degenerates to the plain sequential order.
+func forEachCell(n int, task func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

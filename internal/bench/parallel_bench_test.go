@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkFig2Sequential and BenchmarkFig2Parallel time the full Figure 2
+// sweep with one worker vs the GOMAXPROCS pool; their ratio is the
+// harness's parallel speedup on this machine.
+
+func BenchmarkFig2Sequential(b *testing.B) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	for i := 0; i < b.N; i++ {
+		RunFigure2()
+	}
+}
+
+func BenchmarkFig2Parallel(b *testing.B) {
+	defer SetParallelism(0)
+	SetParallelism(runtime.GOMAXPROCS(0))
+	for i := 0; i < b.N; i++ {
+		RunFigure2()
+	}
+}
+
+func BenchmarkMicroSequential(b *testing.B) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	for i := 0; i < b.N; i++ {
+		RunAllMicro()
+	}
+}
+
+func BenchmarkMicroParallel(b *testing.B) {
+	defer SetParallelism(0)
+	SetParallelism(runtime.GOMAXPROCS(0))
+	for i := 0; i < b.N; i++ {
+		RunAllMicro()
+	}
+}

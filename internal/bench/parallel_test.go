@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelMatchesSequential is the determinism gate for the parallel
+// harness: the paper's numbers are emergent (trap counts, cycle counts),
+// so the worker pool is only acceptable if it changes nothing. Run the
+// full micro + Figure 2 suites with one worker and with many and require
+// bit-identical results, not just statistically similar ones.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double suite sweep")
+	}
+	defer SetParallelism(0)
+
+	SetParallelism(1)
+	seqMicro := RunAllMicro()
+	seqApps := RunFigure2()
+
+	SetParallelism(8)
+	parMicro := RunAllMicro()
+	parApps := RunFigure2()
+
+	if len(seqMicro) != len(parMicro) {
+		t.Fatalf("micro cell count: sequential %d, parallel %d", len(seqMicro), len(parMicro))
+	}
+	for i := range seqMicro {
+		s, p := seqMicro[i], parMicro[i]
+		if s != p {
+			t.Errorf("micro cell %d (%s/%s): sequential {cycles %d traps %d}, parallel {cycles %d traps %d}",
+				i, s.Op, s.Config, s.Cycles, s.Traps, p.Cycles, p.Traps)
+		}
+	}
+
+	if len(seqApps) != len(parApps) {
+		t.Fatalf("fig2 cell count: sequential %d, parallel %d", len(seqApps), len(parApps))
+	}
+	for i := range seqApps {
+		s, p := seqApps[i], parApps[i]
+		if s.Workload != p.Workload || s.Config != p.Config {
+			t.Fatalf("fig2 cell %d order diverged: sequential %s/%s, parallel %s/%s",
+				i, s.Workload, s.Config, p.Workload, p.Config)
+		}
+		if s.Overhead != p.Overhead || !reflect.DeepEqual(s.Raw, p.Raw) {
+			t.Errorf("fig2 cell %d (%s/%s): sequential overhead %v raw %+v, parallel overhead %v raw %+v",
+				i, s.Workload, s.Config, s.Overhead, s.Raw, p.Overhead, p.Raw)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialAblation extends the gate to the ablation
+// and event views, which share the worker pool.
+func TestParallelMatchesSequentialAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double ablation sweep")
+	}
+	defer SetParallelism(0)
+	cfgs := []ConfigID{ARMNested, NEVENested}
+
+	SetParallelism(1)
+	seqAbl := RunAblation(false)
+	seqEv := RunFigure2Events(cfgs)
+	SetParallelism(8)
+	parAbl := RunAblation(false)
+	parEv := RunFigure2Events(cfgs)
+
+	if !reflect.DeepEqual(seqAbl, parAbl) {
+		t.Errorf("ablation diverged:\nsequential %+v\nparallel   %+v", seqAbl, parAbl)
+	}
+	if !reflect.DeepEqual(seqEv, parEv) {
+		t.Errorf("fig2 events diverged:\nsequential %+v\nparallel   %+v", seqEv, parEv)
+	}
+}
+
+func TestForEachCellCoversAllIndicesOnce(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 2, 7, 64} {
+		SetParallelism(workers)
+		const n = 100
+		var counts [n]int32
+		forEachCell(n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachCellZeroAndSmall(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(16)
+	ran := false
+	forEachCell(0, func(int) { ran = true })
+	if ran {
+		t.Fatal("forEachCell(0) invoked a task")
+	}
+	var one int32
+	forEachCell(1, func(i int) { atomic.AddInt32(&one, 1) })
+	if one != 1 {
+		t.Fatalf("forEachCell(1) ran %d tasks", one)
+	}
+}
+
+func TestParallelismDefaultAndOverride(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d, want 3", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism = %d, want >= 1", got)
+	}
+	SetParallelism(-5)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism after negative set = %d, want default >= 1", got)
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Machine-readable performance report: `nevesim bench [-json]` times the
+// full experiment suite and emits throughput numbers (wall time per
+// table/figure, cells/sec, simulated cycles/sec) so the simulator's own
+// performance trajectory is tracked across PRs, not just the paper's
+// numbers.
+
+// SuiteStats is one timed artifact regeneration.
+type SuiteStats struct {
+	// Name is the artifact ("micro" covers Tables 1/6/7; "fig2" Figure 2).
+	Name string `json:"name"`
+	// WallMS is the wall-clock time of the run in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Cells is the number of (configuration x benchmark) cells measured.
+	Cells int `json:"cells"`
+	// CellsPerSec is the cell throughput.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// SimCycles is the total number of simulated guest cycles produced.
+	SimCycles uint64 `json:"sim_cycles"`
+	// SimCyclesPerSec is the simulation speed in simulated cycles per
+	// wall-clock second.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+// Report is the full performance report.
+type Report struct {
+	// Date is the run date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// Parallelism is the worker count the suites ran with.
+	Parallelism int          `json:"parallelism"`
+	Suites      []SuiteStats `json:"suites"`
+	// TotalWallMS is the wall time of the whole report run.
+	TotalWallMS float64 `json:"total_wall_ms"`
+}
+
+// RunBenchReport times the microbenchmark suite and Figure 2 under the
+// current parallelism setting.
+func RunBenchReport() Report {
+	r := Report{
+		Date:        time.Now().Format("2006-01-02"),
+		Parallelism: Parallelism(),
+	}
+	start := time.Now()
+
+	t0 := time.Now()
+	micro := RunAllMicro()
+	var microCycles uint64
+	for _, c := range micro {
+		microCycles += c.Cycles
+	}
+	r.Suites = append(r.Suites, suiteStats("micro", time.Since(t0), len(micro), microCycles))
+
+	t0 = time.Now()
+	apps := RunFigure2()
+	var appCycles uint64
+	for _, c := range apps {
+		appCycles += c.Raw.Cycles
+	}
+	r.Suites = append(r.Suites, suiteStats("fig2", time.Since(t0), len(apps), appCycles))
+
+	r.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+	return r
+}
+
+func suiteStats(name string, wall time.Duration, cells int, simCycles uint64) SuiteStats {
+	secs := wall.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	return SuiteStats{
+		Name:            name,
+		WallMS:          float64(wall.Microseconds()) / 1000,
+		Cells:           cells,
+		CellsPerSec:     float64(cells) / secs,
+		SimCycles:       simCycles,
+		SimCyclesPerSec: float64(simCycles) / secs,
+	}
+}
+
+// JSON renders the report as indented JSON.
+func (r Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // the report contains no unmarshalable values
+	}
+	return append(b, '\n')
+}
+
+// Filename returns the conventional BENCH_<date>.json name for the report.
+func (r Report) Filename() string { return "BENCH_" + r.Date + ".json" }
+
+// FormatReport renders the report as human-readable text.
+func FormatReport(r Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator performance report (%s, %d workers)\n", r.Date, r.Parallelism)
+	fmt.Fprintf(&b, "%-8s %10s %7s %12s %14s %16s\n",
+		"suite", "wall ms", "cells", "cells/sec", "sim cycles", "sim cyc/sec")
+	for _, s := range r.Suites {
+		fmt.Fprintf(&b, "%-8s %10.1f %7d %12.1f %14d %16.0f\n",
+			s.Name, s.WallMS, s.Cells, s.CellsPerSec, s.SimCycles, s.SimCyclesPerSec)
+	}
+	fmt.Fprintf(&b, "total    %10.1f ms\n", r.TotalWallMS)
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBenchReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite timing run")
+	}
+	r := RunBenchReport()
+	if len(r.Suites) != 2 || r.Suites[0].Name != "micro" || r.Suites[1].Name != "fig2" {
+		t.Fatalf("suites = %+v, want micro then fig2", r.Suites)
+	}
+	wantCells := len(MicroOps()) * len(AllConfigs())
+	if r.Suites[0].Cells != wantCells {
+		t.Errorf("micro cells = %d, want %d", r.Suites[0].Cells, wantCells)
+	}
+	for _, s := range r.Suites {
+		if s.SimCycles == 0 || s.CellsPerSec <= 0 || s.SimCyclesPerSec <= 0 {
+			t.Errorf("suite %s has empty throughput: %+v", s.Name, s)
+		}
+	}
+	if !strings.HasPrefix(r.Filename(), "BENCH_") || !strings.HasSuffix(r.Filename(), ".json") {
+		t.Errorf("Filename = %q, want BENCH_<date>.json", r.Filename())
+	}
+
+	var back Report
+	if err := json.Unmarshal(r.JSON(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Parallelism != r.Parallelism || len(back.Suites) != len(r.Suites) {
+		t.Errorf("JSON round trip lost fields: %+v vs %+v", back, r)
+	}
+
+	text := FormatReport(r)
+	for _, want := range []string{"micro", "fig2", "cells/sec"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatReport missing %q:\n%s", want, text)
+		}
+	}
+}

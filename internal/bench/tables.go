@@ -36,15 +36,17 @@ type MicroResult struct {
 	Traps  uint64
 }
 
-// RunAllMicro measures every microbenchmark on every configuration.
+// RunAllMicro measures every microbenchmark on every configuration. Cells
+// run across the worker pool (see SetParallelism); the result order is the
+// sequential table order regardless of worker count.
 func RunAllMicro() []MicroResult {
-	var out []MicroResult
-	for _, op := range MicroOps() {
-		for _, cfg := range AllConfigs() {
-			cyc, traps := RunMicro(cfg, op)
-			out = append(out, MicroResult{Op: op, Config: cfg, Cycles: cyc, Traps: traps})
-		}
-	}
+	ops, cfgs := MicroOps(), AllConfigs()
+	out := make([]MicroResult, len(ops)*len(cfgs))
+	forEachCell(len(out), func(i int) {
+		op, cfg := ops[i/len(cfgs)], cfgs[i%len(cfgs)]
+		cyc, traps := RunMicro(cfg, op)
+		out[i] = MicroResult{Op: op, Config: cfg, Cycles: cyc, Traps: traps}
+	})
 	return out
 }
 
@@ -165,14 +167,15 @@ type AppResult struct {
 }
 
 // RunFigure2 measures every application workload on every configuration.
+// Cells run across the worker pool in deterministic sequential order.
 func RunFigure2() []AppResult {
-	var out []AppResult
-	for _, p := range workload.Profiles() {
-		for _, cfg := range AllConfigs() {
-			ov, raw := RunApp(cfg, p)
-			out = append(out, AppResult{Workload: p.Name, Config: cfg, Overhead: ov, Raw: raw})
-		}
-	}
+	profiles, cfgs := workload.Profiles(), AllConfigs()
+	out := make([]AppResult, len(profiles)*len(cfgs))
+	forEachCell(len(out), func(i int) {
+		p, cfg := profiles[i/len(cfgs)], cfgs[i%len(cfgs)]
+		ov, raw := RunApp(cfg, p)
+		out[i] = AppResult{Workload: p.Name, Config: cfg, Overhead: ov, Raw: raw}
+	})
 	return out
 }
 

@@ -1,10 +1,17 @@
 // Package mem models the physical memory of a simulated machine.
 //
-// Memory is a sparse map of 4 KiB pages addressed by physical address. It
-// backs guest RAM, all page tables walked by the MMU model, and the NEVE
-// deferred access page (VNCR_EL2.BADDR), so a "register access rewritten to
-// a memory access" (paper Section 6.1) really lands in the same storage a
-// hypervisor would read back later.
+// Memory is a sparse collection of 4 KiB pages addressed by physical
+// address. It backs guest RAM, all page tables walked by the MMU model, and
+// the NEVE deferred access page (VNCR_EL2.BADDR), so a "register access
+// rewritten to a memory access" (paper Section 6.1) really lands in the
+// same storage a hypervisor would read back later.
+//
+// Storage is a two-level page directory (array of arrays) indexed by page
+// number, fronted by a last-page cache: the simulators' access streams are
+// heavily page-local (descriptor walks, the VNCR page, guest RAM buffers),
+// so most accesses resolve with one comparison and no map hashing. Pages
+// above the directory's reach (≥ 4 GiB, which only synthetic test
+// addresses hit) fall back to a sparse map.
 package mem
 
 import (
@@ -22,6 +29,17 @@ const PageSize = 1 << PageShift
 // PageMask masks the offset within a page.
 const PageMask = PageSize - 1
 
+// Two-level directory geometry: a leaf covers dirLeafPages contiguous
+// pages (8 KiB of pointers = 4 MiB of address space), and the top level
+// grows on demand up to dirMaxPages (4 GiB of address space, 8 KiB of top
+// pointers when fully grown).
+const (
+	dirLeafBits  = 10
+	dirLeafPages = 1 << dirLeafBits
+	dirLeafMask  = dirLeafPages - 1
+	dirMaxPages  = 1 << 20 // pages below 4 GiB live in the directory
+)
+
 // Addr is a physical address. Distinct levels of the nested stack use
 // distinct meanings (L0 machine address, L1 "physical" address, ...); the
 // MMU model translates between them.
@@ -33,10 +51,23 @@ func (a Addr) PageBase() Addr { return a &^ Addr(PageMask) }
 // PageOff returns the offset of a within its page.
 func (a Addr) PageOff() uint64 { return uint64(a) & PageMask }
 
+type page = [PageSize]byte
+
+type dirLeaf = [dirLeafPages]*page
+
 // Memory is a sparse physical memory. The zero value is not usable; call
 // New.
 type Memory struct {
-	pages map[Addr]*[PageSize]byte
+	// lastBase/lastPage cache the most recently touched page; lastPage
+	// is nil when the cache is empty.
+	lastBase Addr
+	lastPage *page
+	// dir is the two-level page directory for pages below dirMaxPages.
+	dir []*dirLeaf
+	// high holds the (test-only) pages at or above dirMaxPages.
+	high map[Addr]*page
+	// populated counts allocated pages across dir and high.
+	populated int
 	// allocNext is the bump pointer used by AllocPage.
 	allocNext Addr
 	// limit, if nonzero, bounds the highest addressable byte.
@@ -46,10 +77,7 @@ type Memory struct {
 // New returns an empty memory. If limit is nonzero, accesses at or above
 // limit fail, modeling a machine with that much installed RAM.
 func New(limit Addr) *Memory {
-	return &Memory{
-		pages: make(map[Addr]*[PageSize]byte),
-		limit: limit,
-	}
+	return &Memory{limit: limit}
 }
 
 // ErrBadAddress reports an access outside installed memory.
@@ -79,13 +107,53 @@ func (m *Memory) check(a Addr, size int) error {
 	return nil
 }
 
-func (m *Memory) page(a Addr, allocate bool) *[PageSize]byte {
+func (m *Memory) page(a Addr, allocate bool) *page {
 	base := a.PageBase()
-	p := m.pages[base]
-	if p == nil && allocate {
-		p = new([PageSize]byte)
-		m.pages[base] = p
+	if m.lastPage != nil && m.lastBase == base {
+		return m.lastPage
 	}
+	var p *page
+	pn := uint64(base) >> PageShift
+	if pn < dirMaxPages {
+		li, pi := pn>>dirLeafBits, pn&dirLeafMask
+		var leaf *dirLeaf
+		if int(li) < len(m.dir) {
+			leaf = m.dir[li]
+		}
+		if leaf == nil {
+			if !allocate {
+				return nil
+			}
+			for int(li) >= len(m.dir) {
+				m.dir = append(m.dir, nil)
+			}
+			leaf = new(dirLeaf)
+			m.dir[li] = leaf
+		}
+		p = leaf[pi]
+		if p == nil {
+			if !allocate {
+				return nil
+			}
+			p = new(page)
+			leaf[pi] = p
+			m.populated++
+		}
+	} else {
+		p = m.high[base]
+		if p == nil {
+			if !allocate {
+				return nil
+			}
+			if m.high == nil {
+				m.high = make(map[Addr]*page)
+			}
+			p = new(page)
+			m.high[base] = p
+			m.populated++
+		}
+	}
+	m.lastBase, m.lastPage = base, p
 	return p
 }
 
@@ -179,10 +247,10 @@ func (m *Memory) AllocPage() Addr {
 		if m.limit != 0 && uint64(a)+PageSize > uint64(m.limit) {
 			panic("mem: out of physical memory")
 		}
-		if _, busy := m.pages[a]; busy {
+		if m.page(a, false) != nil {
 			continue
 		}
-		m.pages[a] = new([PageSize]byte)
+		m.page(a, true)
 		return a
 	}
 }
@@ -190,15 +258,25 @@ func (m *Memory) AllocPage() Addr {
 // ZeroPage clears the page containing a.
 func (m *Memory) ZeroPage(a Addr) {
 	if p := m.page(a, false); p != nil {
-		*p = [PageSize]byte{}
+		*p = page{}
 	}
 }
 
 // PopulatedPages returns the sorted base addresses of all written pages,
 // for tests and diagnostics.
 func (m *Memory) PopulatedPages() []Addr {
-	out := make([]Addr, 0, len(m.pages))
-	for a := range m.pages {
+	out := make([]Addr, 0, m.populated)
+	for li, leaf := range m.dir {
+		if leaf == nil {
+			continue
+		}
+		for pi, p := range leaf {
+			if p != nil {
+				out = append(out, Addr(uint64(li)<<dirLeafBits+uint64(pi))<<PageShift)
+			}
+		}
+	}
+	for a := range m.high {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -3,95 +3,159 @@ package mmu
 import "github.com/nevesim/neve/internal/mem"
 
 // TLB is a VMID-tagged translation lookaside buffer for Stage-2
-// translations. Capacity eviction is FIFO, keeping the simulation
-// deterministic.
+// translations, organized as a fixed set-associative array: capacity is
+// split into power-of-two sets of up to tlbWays entries, and capacity
+// eviction is FIFO within each set (a per-set round-robin cursor), keeping
+// the simulation deterministic. The storage is allocated once at
+// construction — lookups, inserts and evictions never allocate, unlike the
+// previous map+FIFO-slice design whose eviction path (fifo = fifo[1:])
+// also pinned the slice's backing array forever.
 type TLB struct {
-	cap     int
-	entries map[tlbKey]tlbEntry
-	fifo    []tlbKey
-	hits    uint64
-	misses  uint64
+	ways    int
+	sets    int
+	setMask uint64
+	// slots holds sets*ways entries; set s occupies
+	// slots[s*ways : (s+1)*ways].
+	slots []tlbSlot
+	// next is the per-set FIFO cursor: the way the next eviction in that
+	// set replaces.
+	next   []uint16
+	live   int
+	hits   uint64
+	misses uint64
 }
 
-type tlbKey struct {
-	vmid uint16
-	page mem.Addr
-}
+// tlbWays is the associativity of capacities above tlbWays entries;
+// smaller TLBs are fully associative.
+const tlbWays = 8
 
-type tlbEntry struct {
+type tlbSlot struct {
+	valid  bool
+	vmid   uint16
+	iaPage mem.Addr
 	oaPage mem.Addr
 	perm   Perm
 }
 
-// NewTLB returns a TLB with the given entry capacity.
+// NewTLB returns a TLB with the given entry capacity (rounded up to a
+// whole number of sets).
 func NewTLB(capacity int) *TLB {
 	if capacity <= 0 {
 		capacity = 512
 	}
-	return &TLB{cap: capacity, entries: make(map[tlbKey]tlbEntry, capacity)}
+	ways := tlbWays
+	if capacity < ways {
+		ways = capacity
+	}
+	sets := 1
+	for sets*ways < capacity {
+		sets *= 2
+	}
+	return &TLB{
+		ways:    ways,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		slots:   make([]tlbSlot, sets*ways),
+		next:    make([]uint16, sets),
+	}
+}
+
+// set returns the slot range of the set holding (vmid, iaPage).
+func (t *TLB) set(vmid uint16, iaPage mem.Addr) []tlbSlot {
+	h := (uint64(iaPage) >> mem.PageShift) ^ uint64(vmid)
+	s := int(h & t.setMask)
+	return t.slots[s*t.ways : (s+1)*t.ways]
 }
 
 // Lookup returns the cached translation of ia under vmid.
 func (t *TLB) Lookup(vmid uint16, ia mem.Addr) (mem.Addr, Perm, bool) {
-	e, ok := t.entries[tlbKey{vmid, ia.PageBase()}]
-	if !ok {
-		t.misses++
-		return 0, 0, false
+	iaPage := ia.PageBase()
+	set := t.set(vmid, iaPage)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vmid == vmid && e.iaPage == iaPage {
+			t.hits++
+			return e.oaPage + mem.Addr(ia.PageOff()), e.perm, true
+		}
 	}
-	t.hits++
-	return e.oaPage + mem.Addr(ia.PageOff()), e.perm, true
+	t.misses++
+	return 0, 0, false
 }
 
-// Insert caches a translation.
+// Insert caches a translation. An existing entry for the page is updated
+// in place; otherwise the entry fills a free way, or evicts the set's FIFO
+// victim when the set is full.
 func (t *TLB) Insert(vmid uint16, ia, oa mem.Addr, perm Perm) {
-	k := tlbKey{vmid, ia.PageBase()}
-	if _, exists := t.entries[k]; !exists {
-		for len(t.entries) >= t.cap {
-			victim := t.fifo[0]
-			t.fifo = t.fifo[1:]
-			delete(t.entries, victim)
+	iaPage := ia.PageBase()
+	h := (uint64(iaPage) >> mem.PageShift) ^ uint64(vmid)
+	s := int(h & t.setMask)
+	set := t.slots[s*t.ways : (s+1)*t.ways]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vmid == vmid && e.iaPage == iaPage {
+			e.oaPage = oa.PageBase()
+			e.perm = perm
+			return
 		}
-		t.fifo = append(t.fifo, k)
 	}
-	t.entries[k] = tlbEntry{oaPage: oa.PageBase(), perm: perm}
+	// Prefer a free way, scanning from the FIFO cursor so fills and
+	// evictions advance in the same deterministic order; with no free way
+	// the cursor's slot is the oldest resident and is replaced.
+	victim := int(t.next[s])
+	for i := 0; i < t.ways; i++ {
+		j := (int(t.next[s]) + i) % t.ways
+		if !set[j].valid {
+			victim = j
+			break
+		}
+	}
+	if !set[victim].valid {
+		t.live++
+	}
+	set[victim] = tlbSlot{valid: true, vmid: vmid, iaPage: iaPage, oaPage: oa.PageBase(), perm: perm}
+	t.next[s] = uint16((victim + 1) % t.ways)
 }
 
 // FlushVMID invalidates all entries tagged with vmid (TLBI VMALLS12E1).
 func (t *TLB) FlushVMID(vmid uint16) {
-	kept := t.fifo[:0]
-	for _, k := range t.fifo {
-		if k.vmid == vmid {
-			delete(t.entries, k)
-		} else {
-			kept = append(kept, k)
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].vmid == vmid {
+			t.slots[i] = tlbSlot{}
+			t.live--
 		}
 	}
-	t.fifo = kept
 }
 
 // FlushPage invalidates one page's entry (TLBI IPAS2E1).
 func (t *TLB) FlushPage(vmid uint16, ia mem.Addr) {
-	k := tlbKey{vmid, ia.PageBase()}
-	if _, ok := t.entries[k]; !ok {
-		return
-	}
-	delete(t.entries, k)
-	for i, fk := range t.fifo {
-		if fk == k {
-			t.fifo = append(t.fifo[:i], t.fifo[i+1:]...)
-			break
+	iaPage := ia.PageBase()
+	set := t.set(vmid, iaPage)
+	for i := range set {
+		if set[i].valid && set[i].vmid == vmid && set[i].iaPage == iaPage {
+			set[i] = tlbSlot{}
+			t.live--
+			return
 		}
 	}
 }
 
 // FlushAll invalidates everything (TLBI ALLE1).
 func (t *TLB) FlushAll() {
-	t.entries = make(map[tlbKey]tlbEntry, t.cap)
-	t.fifo = t.fifo[:0]
+	for i := range t.slots {
+		t.slots[i] = tlbSlot{}
+	}
+	for i := range t.next {
+		t.next[i] = 0
+	}
+	t.live = 0
 }
 
 // Stats returns hit and miss counts.
 func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
 // Len returns the number of cached entries.
-func (t *TLB) Len() int { return len(t.entries) }
+func (t *TLB) Len() int { return t.live }
+
+// footprint returns the fixed slot count, for the eviction-churn
+// regression test: it must never grow after construction.
+func (t *TLB) footprint() int { return len(t.slots) + len(t.next) }

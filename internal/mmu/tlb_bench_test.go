@@ -1,0 +1,104 @@
+package mmu
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/mem"
+)
+
+// TestTLBEvictionChurnBounded is the regression test for the old
+// map+FIFO-slice design's leak: eviction advanced the FIFO with
+// t.fifo = t.fifo[1:], which kept the slice's backing array (and grew it
+// forever under churn). The set-associative TLB allocates its slots once;
+// churning far past capacity must leave the footprint and entry count
+// fixed.
+func TestTLBEvictionChurnBounded(t *testing.T) {
+	const cap = 16
+	tlb := NewTLB(cap)
+	foot := tlb.footprint()
+	for i := 0; i < 100*cap; i++ {
+		ia := mem.Addr(i) << mem.PageShift
+		tlb.Insert(uint16(i%3), ia, ia+0x100000, PermRW)
+		if tlb.Len() > cap {
+			t.Fatalf("after %d inserts Len = %d, beyond capacity %d", i+1, tlb.Len(), cap)
+		}
+	}
+	if got := tlb.footprint(); got != foot {
+		t.Fatalf("footprint grew under churn: %d -> %d slots", foot, got)
+	}
+	// Flush churn must not grow storage or underflow the entry count.
+	for v := uint16(0); v < 3; v++ {
+		tlb.FlushVMID(v)
+	}
+	if tlb.Len() != 0 {
+		t.Fatalf("Len after full flush = %d, want 0", tlb.Len())
+	}
+	if got := tlb.footprint(); got != foot {
+		t.Fatalf("footprint changed by flush: %d -> %d", foot, got)
+	}
+}
+
+// TestTLBInsertUpdatesInPlace pins the no-eviction update semantics of the
+// old map design: reinserting a cached page must not evict anything.
+func TestTLBInsertUpdatesInPlace(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1, 0x1000, 0x80000, PermR)
+	tlb.Insert(1, 0x2000, 0x81000, PermR)
+	tlb.Insert(1, 0x1000, 0x90000, PermRW) // update, not a new entry
+	if tlb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tlb.Len())
+	}
+	pa, perm, ok := tlb.Lookup(1, 0x1004)
+	if !ok || pa != 0x90004 || perm != PermRW {
+		t.Fatalf("updated entry = %#x %v %v", uint64(pa), perm, ok)
+	}
+	if _, _, ok := tlb.Lookup(1, 0x2000); !ok {
+		t.Fatal("update evicted an unrelated entry")
+	}
+}
+
+// TestTLBStatsAcrossFlush pins the counter semantics: flushes clear
+// entries, never the hit/miss statistics.
+func TestTLBStatsAcrossFlush(t *testing.T) {
+	tlb := NewTLB(8)
+	tlb.Insert(1, 0x1000, 0x80000, PermR)
+	tlb.Lookup(1, 0x1000) // hit
+	tlb.Lookup(1, 0x2000) // miss
+	tlb.FlushAll()
+	hits, misses := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats after flush = %d/%d, want 1/1", hits, misses)
+	}
+	if tlb.Len() != 0 {
+		t.Fatalf("Len after FlushAll = %d", tlb.Len())
+	}
+}
+
+func BenchmarkTLBLookupInsert(b *testing.B) {
+	// Working set small enough to fit: the steady-state hot path is
+	// lookup hits with occasional inserts.
+	tlb := NewTLB(512)
+	const pages = 256
+	for i := 0; i < pages; i++ {
+		ia := mem.Addr(i) << mem.PageShift
+		tlb.Insert(1, ia, ia+0x40000000, PermRW)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia := mem.Addr(i%pages) << mem.PageShift
+		if _, _, ok := tlb.Lookup(1, ia+0x40); !ok {
+			tlb.Insert(1, ia, ia+0x40000000, PermRW)
+		}
+	}
+}
+
+func BenchmarkTLBEvictionChurn(b *testing.B) {
+	// Every insert misses and evicts: the worst case for the replacement
+	// path (and the leak case for the old FIFO slice).
+	tlb := NewTLB(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia := mem.Addr(i) << mem.PageShift
+		tlb.Insert(1, ia, ia, PermR)
+	}
+}

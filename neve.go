@@ -135,7 +135,13 @@ func RunApp(id ConfigID, p Profile) (overhead float64, res workload.Result) {
 // MicroResult is one measured microbenchmark cell.
 type MicroResult = bench.MicroResult
 
-// RunAllMicro measures every microbenchmark on every configuration.
+// SetParallelism sets the worker count the experiment suites fan their
+// cells across (0 restores the GOMAXPROCS default). Parallel runs produce
+// results identical to sequential runs, in the same order.
+func SetParallelism(n int) { bench.SetParallelism(n) }
+
+// RunAllMicro measures every microbenchmark on every configuration,
+// fanning cells across the worker pool in deterministic table order.
 func RunAllMicro() []MicroResult { return bench.RunAllMicro() }
 
 // AppResult is one Figure 2 cell.
