@@ -1,10 +1,12 @@
-# Build/test/CI entry points. `make ci` is the gate: vet plus the full
+# Build/test/CI entry points. `make ci` is the gate: vet, gofmt, the full
 # test suite under the race detector — load-bearing now that the
-# experiment harness fans cells across goroutines.
+# experiment harness fans cells across goroutines — and an examples smoke
+# test.
 
 GO ?= go
+EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet ci bench bench-json
+.PHONY: all build test race vet fmt-check examples-smoke ci bench bench-json
 
 all: build test
 
@@ -17,12 +19,24 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fail on unformatted code; gofmt -l lists offending files.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # The harness's worker pool makes -race load-bearing: any shared mutable
 # state in bench/kvm/x86 shows up here.
 race:
 	$(GO) test -race ./...
 
-ci: vet race
+# Every example must build and exit 0.
+examples-smoke:
+	@for ex in $(EXAMPLES); do \
+		echo "examples/$$ex"; \
+		$(GO) run ./examples/$$ex >/dev/null || exit 1; \
+	done
+
+ci: vet fmt-check race examples-smoke
 
 # Go benchmarks for the simulator's own speed (not the paper's numbers).
 bench:

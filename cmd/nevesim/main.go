@@ -1,13 +1,19 @@
 // Command nevesim regenerates the paper's evaluation artifacts on the
 // simulated hardware:
 //
-//	nevesim table1    Table 1: microbenchmark cycles, ARMv8.3 vs x86
-//	nevesim table6    Table 6: microbenchmark cycles with NEVE
-//	nevesim table7    Table 7: traps to the host hypervisor
-//	nevesim fig2      Figure 2: application benchmark overhead
-//	nevesim trapcost  Section 5: trap-cost interchangeability validation
-//	nevesim bench     time the suites; -json writes BENCH_<date>.json
-//	nevesim all       everything above
+//	nevesim table1     Table 1: microbenchmark cycles, ARMv8.3 vs x86
+//	nevesim table6     Table 6: microbenchmark cycles with NEVE
+//	nevesim table7     Table 7: traps to the host hypervisor
+//	nevesim table8     Table 8: the application benchmark descriptions
+//	nevesim fig2       Figure 2: application benchmark overhead
+//	nevesim events     Figure 2 event-count analysis (the x86 anomaly)
+//	nevesim trapcost   Section 5: trap-cost interchangeability validation
+//	nevesim ablation   NEVE mechanism ablation (Section 6 attribution)
+//	nevesim optvhe     Section 7.1: optimized VHE guest hypervisor
+//	nevesim recursive  Section 6.2: an L3 hypercall, ARMv8.3 vs NEVE
+//	nevesim bench      time the suites; -json writes BENCH_<date>.json
+//	nevesim run        microbenchmark one configuration: -config <name|axes>
+//	nevesim all        everything above except bench and run
 //
 // Experiment cells run across a worker pool (every cell builds its own
 // simulated machine, and results are order- and value-identical to a
@@ -21,13 +27,13 @@ import (
 
 	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/bench"
-	"github.com/nevesim/neve/internal/kvm"
 	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/platform"
 	"github.com/nevesim/neve/internal/trace"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nevesim [-parallel N] [table1|table6|table7|table8|fig2|events|trapcost|ablation|optvhe|recursive|bench|all]")
+	fmt.Fprintln(os.Stderr, "usage: nevesim [-parallel N] [table1|table6|table7|table8|fig2|events|trapcost|ablation|optvhe|recursive|bench|run|all]")
 	os.Exit(2)
 }
 
@@ -35,50 +41,59 @@ func main() {
 	flag.Usage = usage
 	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS)")
 	flag.Parse()
-	bench.SetParallelism(*parallel)
+	h := bench.Harness{Parallelism: *parallel}
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
 	}
 	switch cmd {
 	case "table1":
-		fmt.Print(bench.FormatTable1(bench.RunAllMicro()))
+		fmt.Print(bench.FormatTable1(h.RunAllMicro()))
 	case "table6":
-		fmt.Print(bench.FormatTable6(bench.RunAllMicro()))
+		fmt.Print(bench.FormatTable6(h.RunAllMicro()))
 	case "table7":
-		fmt.Print(bench.FormatTable7(bench.RunAllMicro()))
+		fmt.Print(bench.FormatTable7(h.RunAllMicro()))
+	case "table8":
+		fmt.Print(bench.FormatTable8())
 	case "fig2":
-		fmt.Print(bench.FormatFigure2(bench.RunFigure2()))
+		fmt.Print(bench.FormatFigure2(h.RunFigure2()))
+	case "events":
+		fmt.Print(bench.FormatFigure2Events(h.RunFigure2Events(
+			[]bench.ConfigID{bench.ARMNested, bench.NEVENested, bench.X86Nested})))
 	case "trapcost":
 		trapCost()
 	case "ablation":
-		fmt.Print(bench.FormatAblation(bench.RunAblation(false)))
+		fmt.Print(bench.FormatAblation(h.RunAblation(false)))
 	case "optvhe":
 		fmt.Print(bench.FormatOptimizedVHE(bench.RunOptimizedVHE()))
-	case "events":
-		fmt.Print(bench.FormatFigure2Events(bench.RunFigure2Events(
-			[]bench.ConfigID{bench.ARMNested, bench.NEVENested, bench.X86Nested})))
-	case "table8":
-		fmt.Print(bench.FormatTable8())
 	case "recursive":
 		recursive()
 	case "bench":
-		benchReport(flag.Args()[1:])
+		benchReport(h, flag.Args()[1:])
+	case "run":
+		runConfig(flag.Args()[1:])
 	case "all":
-		micro := bench.RunAllMicro()
+		micro := h.RunAllMicro()
 		fmt.Print(bench.FormatTable1(micro))
 		fmt.Println()
 		fmt.Print(bench.FormatTable6(micro))
 		fmt.Println()
 		fmt.Print(bench.FormatTable7(micro))
 		fmt.Println()
-		fmt.Print(bench.FormatFigure2(bench.RunFigure2()))
+		fmt.Print(bench.FormatTable8())
+		fmt.Println()
+		fmt.Print(bench.FormatFigure2(h.RunFigure2()))
+		fmt.Println()
+		fmt.Print(bench.FormatFigure2Events(h.RunFigure2Events(
+			[]bench.ConfigID{bench.ARMNested, bench.NEVENested, bench.X86Nested})))
 		fmt.Println()
 		trapCost()
 		fmt.Println()
-		fmt.Print(bench.FormatAblation(bench.RunAblation(false)))
+		fmt.Print(bench.FormatAblation(h.RunAblation(false)))
 		fmt.Println()
 		fmt.Print(bench.FormatOptimizedVHE(bench.RunOptimizedVHE()))
+		fmt.Println()
+		recursive()
 	default:
 		usage()
 	}
@@ -86,11 +101,11 @@ func main() {
 
 // benchReport times the suites; with -json it writes BENCH_<date>.json in
 // the current directory for cross-PR performance tracking.
-func benchReport(args []string) {
+func benchReport(h bench.Harness, args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "write BENCH_<date>.json")
 	fs.Parse(args)
-	r := bench.RunBenchReport()
+	r := h.RunBenchReport()
 	fmt.Print(bench.FormatReport(r))
 	if *jsonOut {
 		name := r.Filename()
@@ -102,24 +117,82 @@ func benchReport(args []string) {
 	}
 }
 
+// runConfig microbenchmarks one platform spec — a registry name or an
+// ad-hoc axis list — including combinations outside the paper's matrix
+// (e.g. -config gicv2,hostvhe,nesting=2,neve).
+func runConfig(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	config := fs.String("config", "", "registry name or axis=value list (see -list)")
+	list := fs.Bool("list", false, "list the registry spec names and exit")
+	fs.Parse(args)
+	if *list || *config == "" {
+		fmt.Println("registry specs:")
+		for _, name := range platform.Names() {
+			spec := platform.MustLookup(name)
+			fmt.Printf("  %-22s %s\n", name, spec.Axes())
+		}
+		fmt.Println("or an axis list, e.g. -config arch=arm,nesting=2,neve,gicv2,hostvhe")
+		if !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	spec, err := platform.Parse(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nevesim run:", err)
+		os.Exit(1)
+	}
+	if spec.Name != "" {
+		fmt.Printf("config %s (%s)\n", spec.Name, spec.Axes())
+	} else {
+		fmt.Printf("config %s\n", spec.Axes())
+	}
+	for _, op := range bench.MicroOps() {
+		p, err := platform.Build(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nevesim run:", err)
+			os.Exit(1)
+		}
+		cycles, traps := bench.RunMicroOn(p, op)
+		fmt.Printf("  %-12s %12s cycles %6d traps", op, fmtN(cycles), traps)
+		if lv := p.LevelCycles(0); len(lv) > 0 {
+			fmt.Printf("   per-level")
+			for l, c := range lv {
+				if c != 0 {
+					fmt.Printf(" L%d:%d", l, c)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fmtN(n uint64) string {
+	if n < 1000 {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmtN(n/1000) + fmt.Sprintf(",%03d", n%1000)
+}
+
 // recursive measures an L3 hypercall (Section 6.2).
 func recursive() {
 	fmt.Println("Recursive virtualization (Section 6.2): one hypercall from an L3 VM")
-	for _, neve := range []bool{false, true} {
-		name := "ARMv8.3"
-		if neve {
-			name = "NEVE"
+	for _, name := range []string{"recursive-v8.3", "recursive-neve"} {
+		spec := platform.MustLookup(name)
+		label := "ARMv8.3"
+		if spec.NEVE {
+			label = "NEVE"
 		}
-		s := kvm.NewRecursiveStack(kvm.StackOptions{GuestNEVE: neve})
+		p := platform.MustBuild(spec)
 		var cycles uint64
-		s.RunGuest(0, func(g *kvm.GuestCtx) {
+		p.RunGuest(0, func(g platform.Guest) {
 			g.Hypercall()
-			s.M.Trace.Reset()
-			before := g.CPU.Cycles()
+			p.Trace().Reset()
+			before := g.Cycles()
 			g.Hypercall()
-			cycles = g.CPU.Cycles() - before
+			cycles = g.Cycles() - before
 		})
-		fmt.Printf("  %-8s %12d cycles  %6d traps\n", name, cycles, s.M.Trace.Total())
+		fmt.Printf("  %-8s %12d cycles  %6d traps\n", label, cycles, p.Trace().Total())
 	}
 }
 

@@ -3,7 +3,10 @@
 // "each trap from the nested VM results in a multitude of additional traps
 // from the guest hypervisor to the host hypervisor").
 //
-//	nevetrace [-config v8.3|v8.3-vhe|neve|neve-vhe] [hypercall|deviceio]
+// -config accepts any platform registry name ("v8.3", "neve-vhe",
+// "x86-nested", ...) or an ad-hoc axis list ("nesting=2,neve,gicv2").
+//
+//	nevetrace [-config <name|axis=value,...>] [hypercall|deviceio]
 package main
 
 import (
@@ -11,34 +14,30 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/platform"
 )
 
 func main() {
-	config := flag.String("config", "v8.3", "stack configuration: v8.3, v8.3-vhe, neve, neve-vhe")
+	config := flag.String("config", "v8.3", "platform registry name or axis=value list")
 	flag.Parse()
 	op := "hypercall"
 	if flag.NArg() > 0 {
 		op = flag.Arg(0)
 	}
 
-	opts := kvm.StackOptions{RecordTrace: true}
-	switch *config {
-	case "v8.3":
-	case "v8.3-vhe":
-		opts.GuestVHE = true
-	case "neve":
-		opts.GuestNEVE = true
-	case "neve-vhe":
-		opts.GuestVHE = true
-		opts.GuestNEVE = true
-	default:
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+	spec, err := platform.Parse(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nevetrace:", err)
+		os.Exit(2)
+	}
+	spec.RecordTrace = true
+	p, err := platform.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nevetrace:", err)
 		os.Exit(2)
 	}
 
-	s := kvm.NewNestedStack(opts)
-	s.RunGuest(0, func(g *kvm.GuestCtx) {
+	p.RunGuest(0, func(g platform.Guest) {
 		run := func() {
 			switch op {
 			case "hypercall":
@@ -51,21 +50,26 @@ func main() {
 			}
 		}
 		run() // warm up shadow structures
-		s.M.Trace.Reset()
-		before := g.CPU.Cycles()
+		p.Trace().Reset()
+		before := g.Cycles()
 		run()
-		cycles := g.CPU.Cycles() - before
-		fmt.Printf("one nested %s on %s: %d cycles, %d traps to the host hypervisor\n\n",
-			op, *config, cycles, s.M.Trace.Total())
+		cycles := g.Cycles() - before
+		fmt.Printf("one %s on %s: %d cycles, %d traps to the host hypervisor\n\n",
+			op, spec, cycles, p.Trace().Total())
 	})
 
 	fmt.Println("trap-by-trap (level 2 = nested VM, level 1 = guest hypervisor):")
-	for i, ev := range s.M.Trace.Events() {
+	for i, ev := range p.Trace().Events() {
 		fmt.Printf("  %3d  L%d  %-24s @%d\n", i+1, ev.FromLevel, ev.Detail, ev.Cycle)
 	}
 	fmt.Println()
-	fmt.Print(s.M.Trace.Summary())
-	lv := s.M.CPUs[0].LevelCycles()
-	fmt.Printf("\ncycles by level (whole run): host %d, guest hypervisor %d, nested VM %d\n",
-		lv[0], lv[1], lv[2])
+	fmt.Print(p.Trace().Summary())
+	lv := p.LevelCycles(0)
+	fmt.Printf("\ncycles by level (whole run):")
+	for l, c := range lv {
+		if c != 0 || l < 2 {
+			fmt.Printf(" L%d %d", l, c)
+		}
+	}
+	fmt.Println()
 }

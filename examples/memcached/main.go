@@ -28,7 +28,9 @@ func main() {
 	for _, cfg := range configs {
 		overhead, raw := neve.RunApp(cfg, p)
 		bar := strings.Repeat("#", int(overhead+0.5))
-		fmt.Printf("%-20s %6.2fx %s\n", cfg, overhead, bar)
+		// Each ConfigID is backed by a named platform spec; `nevesim run
+		// -config <spec>` microbenchmarks the same stack.
+		fmt.Printf("%-20s [%s] %6.2fx %s\n", cfg, cfg.Spec(), overhead, bar)
 		fmt.Printf("%20s kicks=%d rx-irqs=%d wakeup-ipis=%d\n",
 			"", raw.Kicks, raw.RXIRQs, raw.IPIs)
 	}

@@ -5,22 +5,38 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	neve "github.com/nevesim/neve"
 )
 
-func measure(name string, opts neve.ARMStackOptions) {
-	s := neve.NewARMNestedStack(opts)
+func build(config string, trace bool) neve.Platform {
+	spec, err := neve.ParseSpec(config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nestedboot:", err)
+		os.Exit(1)
+	}
+	spec.RecordTrace = trace
+	p, err := neve.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nestedboot:", err)
+		os.Exit(1)
+	}
+	return p
+}
+
+func measure(name, config string) {
+	p := build(config, false)
 	var cycles uint64
-	s.RunGuest(0, func(g *neve.GuestCtx) {
+	p.RunGuest(0, func(g neve.Guest) {
 		g.Hypercall() // warm up shadow structures
-		s.M.Trace.Reset()
+		p.Trace().Reset()
 		before := g.Cycles()
 		g.Hypercall()
 		cycles = g.Cycles() - before
 	})
 	fmt.Printf("%-22s %8d cycles  %4d traps to the host hypervisor\n",
-		name, cycles, s.M.Trace.Total())
+		name, cycles, p.Trace().Total())
 }
 
 func main() {
@@ -28,23 +44,24 @@ func main() {
 	fmt.Println("multiplication problem and how NEVE solves it")
 	fmt.Println()
 
-	measure("ARMv8.3", neve.ARMStackOptions{})
-	measure("ARMv8.3 + VHE", neve.ARMStackOptions{GuestVHE: true})
-	measure("NEVE", neve.ARMStackOptions{GuestNEVE: true})
-	measure("NEVE + VHE", neve.ARMStackOptions{GuestVHE: true, GuestNEVE: true})
+	measure("ARMv8.3", "v8.3")
+	measure("ARMv8.3 + VHE", "v8.3-vhe")
+	measure("NEVE", "neve")
+	measure("NEVE + VHE", "neve-vhe")
 
 	fmt.Println()
 	fmt.Println("trap-by-trap on ARMv8.3 (first 20 of the guest hypervisor's")
 	fmt.Println("world switch; run `nevetrace` for the full trace):")
-	s := neve.NewARMNestedStack(neve.ARMStackOptions{RecordTrace: true})
-	s.RunGuest(0, func(g *neve.GuestCtx) {
+	p := build("v8.3", true)
+	p.RunGuest(0, func(g neve.Guest) {
 		g.Hypercall()
-		s.M.Trace.Reset()
+		p.Trace().Reset()
 		g.Hypercall()
 	})
-	for i, ev := range s.M.Trace.Events() {
+	events := p.Trace().Events()
+	for i, ev := range events {
 		if i >= 20 {
-			fmt.Printf("  ... %d more\n", len(s.M.Trace.Events())-20)
+			fmt.Printf("  ... %d more\n", len(events)-20)
 			break
 		}
 		fmt.Printf("  %3d  L%d  %s\n", i+1, ev.FromLevel, ev.Detail)

@@ -1,29 +1,46 @@
-// Quickstart: assemble a simulated ARM server, run KVM with one VM, and
-// measure the basic hypervisor interactions of Table 1's "VM" column —
-// a hypercall, an emulated device access, and a cross-vCPU virtual IPI.
+// Quickstart: build a simulated ARM server from a declarative platform
+// spec, run KVM with one VM, and measure the basic hypervisor interactions
+// of Table 1's "VM" column — a hypercall, an emulated device access, and a
+// cross-vCPU virtual IPI.
 package main
 
 import (
 	"fmt"
+	"os"
 
 	neve "github.com/nevesim/neve"
 )
+
+// build resolves a platform configuration — a registry name like "vm" or
+// "neve-vhe", or an axis list like "nesting=2,neve" — and assembles it.
+func build(config string) neve.Platform {
+	spec, err := neve.ParseSpec(config)
+	if err == nil {
+		var p neve.Platform
+		if p, err = neve.Build(spec); err == nil {
+			return p
+		}
+	}
+	fmt.Fprintln(os.Stderr, "quickstart:", err)
+	os.Exit(1)
+	return nil
+}
 
 func main() {
 	fmt.Println("quickstart: one VM on a simulated two-core ARM server")
 	fmt.Println()
 
-	s := neve.NewARMVMStack(neve.ARMStackOptions{CPUs: 2})
+	p := build("vm")
 
-	s.RunGuest(0, func(g *neve.GuestCtx) {
+	p.RunGuest(0, func(g neve.Guest) {
 		// Warm up, then measure a null hypercall: one trap to the host
 		// hypervisor and a full world switch each way.
 		g.Hypercall()
-		s.M.Trace.Reset()
+		p.Trace().Reset()
 		before := g.Cycles()
 		g.Hypercall()
 		fmt.Printf("hypercall:   %6d cycles, %d trap(s)  (paper Table 1: 2,729)\n",
-			g.Cycles()-before, s.M.Trace.Total())
+			g.Cycles()-before, p.Trace().Total())
 
 		// An access to the paravirtual device: the address is unmapped in
 		// Stage-2, so it faults and the host emulates the device.
@@ -40,14 +57,14 @@ func main() {
 
 	// Cross-vCPU IPI: vCPU 0 sends, vCPU 1 (loaded on core 1) receives the
 	// virtual interrupt through the GIC virtual CPU interface.
-	s2 := neve.NewARMVMStack(neve.ARMStackOptions{CPUs: 2})
+	p2 := build("vm")
+	s2 := p2.ARM()
 	received := -1
-	v1 := s2.VM.VCPUs[1]
-	s2.Host.PreparePeerVM(v1)
-	v1.Guest.OnIRQ(func(intid int) { received = intid })
+	p2.PreparePeer()
+	s2.VM.VCPUs[1].Guest.OnIRQ(func(intid int) { received = intid })
 
 	c0, c1 := s2.M.CPUs[0], s2.M.CPUs[1]
-	s2.RunGuest(0, func(g *neve.GuestCtx) {
+	p2.RunGuest(0, func(g neve.Guest) {
 		b0, b1 := c0.Cycles(), c1.Cycles()
 		g.SendIPI(1, 3)
 		s2.Host.Service(c1)
@@ -56,14 +73,16 @@ func main() {
 	})
 
 	// Console output: the guest's UART writes fault in Stage-2 and the
-	// hypervisor emulates them onto the machine UART.
-	s3 := neve.NewARMVMStack(neve.ARMStackOptions{})
-	s3.RunGuest(0, func(g *neve.GuestCtx) {
-		g.Print("hello from the guest\n")
+	// hypervisor emulates them onto the machine UART. Print lives on the
+	// ARM guest context, so assert down from the uniform Guest surface.
+	p3 := build("vm")
+	p3.RunGuest(0, func(g neve.Guest) {
+		g.(*neve.GuestCtx).Print("hello from the guest\n")
 	})
-	fmt.Printf("guest console: %q\n", s3.M.UART.Output())
+	fmt.Printf("guest console: %q\n", p3.ARM().M.UART.Output())
 
 	fmt.Println()
-	fmt.Println("run `nevesim all` for the full evaluation, or the other")
-	fmt.Println("examples for nested and recursive virtualization.")
+	fmt.Println("run `nevesim all` for the full evaluation, `nevesim run -list`")
+	fmt.Println("for every named platform spec, or the other examples for")
+	fmt.Println("nested and recursive virtualization.")
 }

@@ -5,20 +5,30 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	neve "github.com/nevesim/neve"
 )
 
-func measure(opts neve.ARMStackOptions) (cycles, traps uint64) {
-	s := neve.NewARMRecursiveStack(opts)
-	s.RunGuest(0, func(g *neve.GuestCtx) {
+func measure(config string) (cycles, traps uint64) {
+	spec, err := neve.ParseSpec(config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recursive:", err)
+		os.Exit(1)
+	}
+	p, err := neve.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recursive:", err)
+		os.Exit(1)
+	}
+	p.RunGuest(0, func(g neve.Guest) {
 		g.Hypercall() // warm: build both levels of shadow state
-		s.M.Trace.Reset()
+		p.Trace().Reset()
 		before := g.Cycles()
 		g.Hypercall()
 		cycles = g.Cycles() - before
 	})
-	traps = s.M.Trace.Total()
+	traps = p.Trace().Total()
 	return cycles, traps
 }
 
@@ -27,14 +37,14 @@ func main() {
 	fmt.Println("(L0 host -> L1 guest hypervisor -> L2 guest hypervisor -> L3 VM)")
 	fmt.Println()
 
-	c83, t83 := measure(neve.ARMStackOptions{})
+	c83, t83 := measure("recursive-v8.3")
 	fmt.Printf("ARMv8.3: %10d cycles, %6d traps to the host hypervisor\n", c83, t83)
 	fmt.Println("         (exit multiplication squared: every trap of the L2")
 	fmt.Println("          hypervisor's world switch is itself forwarded through")
 	fmt.Println("          the L1 hypervisor's world switch)")
 	fmt.Println()
 
-	cNV, tNV := measure(neve.ARMStackOptions{GuestNEVE: true})
+	cNV, tNV := measure("recursive-neve")
 	fmt.Printf("NEVE:    %10d cycles, %6d traps\n", cNV, tNV)
 	fmt.Println("         (the host emulates NEVE for the L2 hypervisor by")
 	fmt.Println("          translating the L1 hypervisor's deferred access page")

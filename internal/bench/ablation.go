@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/nevesim/neve/internal/core"
-	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/platform"
 )
 
 // Ablation experiments: attribute NEVE's win to its three mechanisms
@@ -14,23 +13,23 @@ import (
 // paper projects could trap even less than x86 (Section 7.1, citing Dall
 // et al. [16]).
 
-// AblationVariant selects which NEVE mechanisms are active.
+// AblationVariant selects which NEVE mechanisms are active, naming a
+// registry spec that carries the subset.
 type AblationVariant struct {
-	Name   string
-	Engine core.Engine
+	Name string
+	Spec platform.Spec
 }
 
 // AblationVariants returns the mechanism subsets, from nothing to full
-// NEVE.
+// NEVE, backed by the platform registry's ablation specs.
 func AblationVariants() []AblationVariant {
-	all := core.Engine{DisableDefer: true, DisableRedirect: true, DisableCached: true}
 	return []AblationVariant{
-		{"ARMv8.3 (no NEVE)", all},
-		{"deferral only", core.Engine{DisableRedirect: true, DisableCached: true}},
-		{"redirection only", core.Engine{DisableDefer: true, DisableCached: true}},
-		{"cached copies only", core.Engine{DisableDefer: true, DisableRedirect: true}},
-		{"deferral + redirection", core.Engine{DisableCached: true}},
-		{"full NEVE", core.Engine{}},
+		{"ARMv8.3 (no NEVE)", platform.MustLookup("neve-ablate-none")},
+		{"deferral only", platform.MustLookup("neve-defer")},
+		{"redirection only", platform.MustLookup("neve-redirect")},
+		{"cached copies only", platform.MustLookup("neve-cached")},
+		{"deferral + redirection", platform.MustLookup("neve-defer-redirect")},
+		{"full NEVE", platform.MustLookup("neve")},
 	}
 }
 
@@ -43,27 +42,32 @@ type AblationResult struct {
 }
 
 // RunAblation measures a nested hypercall under every mechanism subset.
-func RunAblation(vhe bool) []AblationResult {
+func (h Harness) RunAblation(vhe bool) []AblationResult {
 	variants := AblationVariants()
 	out := make([]AblationResult, len(variants))
-	forEachCell(len(out), func(i int) {
-		engine := variants[i].Engine
-		s := kvm.NewNestedStack(kvm.StackOptions{
-			GuestVHE:     vhe,
-			GuestNEVE:    true,
-			NEVEAblation: &engine,
-		})
-		var cycles uint64
-		s.RunGuest(0, func(g *kvm.GuestCtx) {
-			g.Hypercall()
-			s.M.Trace.Reset()
-			before := g.CPU.Cycles()
-			g.Hypercall()
-			cycles = g.CPU.Cycles() - before
-		})
-		out[i] = AblationResult{Variant: variants[i].Name, VHE: vhe, Cycles: cycles, Traps: s.M.Trace.Total()}
+	h.forEachCell(len(out), func(i int) {
+		spec := variants[i].Spec
+		spec.GuestVHE = vhe
+		p := platform.MustBuild(spec)
+		cycles, traps := hypercallCost(p)
+		out[i] = AblationResult{Variant: variants[i].Name, VHE: vhe, Cycles: cycles, Traps: traps}
 	})
 	return out
+}
+
+// RunAblation measures the mechanism subsets with the default harness.
+func RunAblation(vhe bool) []AblationResult { return Harness{}.RunAblation(vhe) }
+
+// hypercallCost measures one warm nested hypercall on a built platform.
+func hypercallCost(p platform.Platform) (cycles, traps uint64) {
+	p.RunGuest(0, func(g platform.Guest) {
+		g.Hypercall()
+		p.Trace().Reset()
+		before := g.Cycles()
+		g.Hypercall()
+		cycles = g.Cycles() - before
+	})
+	return cycles, p.Trace().Total()
 }
 
 // FormatAblation renders the mechanism attribution table.
@@ -93,20 +97,12 @@ type OptimizedVHEResult struct {
 // x86 baseline.
 func RunOptimizedVHE() []OptimizedVHEResult {
 	var out []OptimizedVHEResult
-	measure := func(name string, opts kvm.StackOptions) {
-		s := kvm.NewNestedStack(opts)
-		var cycles uint64
-		s.RunGuest(0, func(g *kvm.GuestCtx) {
-			g.Hypercall()
-			s.M.Trace.Reset()
-			before := g.CPU.Cycles()
-			g.Hypercall()
-			cycles = g.CPU.Cycles() - before
-		})
-		out = append(out, OptimizedVHEResult{Config: name, Cycles: cycles, Traps: s.M.Trace.Total()})
+	measure := func(name string, spec platform.Spec) {
+		cycles, traps := hypercallCost(platform.MustBuild(spec))
+		out = append(out, OptimizedVHEResult{Config: name, Cycles: cycles, Traps: traps})
 	}
-	measure("VHE (KVM 4.10 design)", kvm.StackOptions{GuestVHE: true, GuestNEVE: true})
-	measure("optimized VHE", kvm.StackOptions{GuestVHE: true, GuestNEVE: true, GuestOptimized: true})
+	measure("VHE (KVM 4.10 design)", platform.MustLookup("neve-vhe"))
+	measure("optimized VHE", platform.MustLookup("optvhe"))
 	cyc, traps := RunMicro(X86Nested, Hypercall)
 	out = append(out, OptimizedVHEResult{Config: "x86 (VMCS shadowing)", Cycles: cyc, Traps: traps})
 	return out

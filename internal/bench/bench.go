@@ -1,17 +1,20 @@
 // Package bench is the experiment harness: it assembles the paper's
-// configurations on the simulated hardware, runs the microbenchmarks and
-// application workloads, and regenerates every evaluation table and figure
-// (Tables 1, 6, 7 and Figure 2).
+// configurations through the internal/platform layer, runs the
+// microbenchmarks and application workloads, and regenerates every
+// evaluation table and figure (Tables 1, 6, 7 and Figure 2).
 package bench
 
 import (
 	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/platform"
 	"github.com/nevesim/neve/internal/workload"
 	"github.com/nevesim/neve/internal/x86"
 )
 
-// ConfigID identifies one evaluated configuration.
+// ConfigID identifies one evaluated configuration: a thin view over the
+// platform registry's seven paper specs, kept for stable table ordering
+// and compact result keys.
 type ConfigID int
 
 const (
@@ -27,6 +30,33 @@ const (
 
 // NumConfigs is the number of evaluated configurations.
 const NumConfigs = int(numConfigs)
+
+// SpecName returns the platform registry name backing the configuration.
+func (c ConfigID) SpecName() string {
+	switch c {
+	case ARMVM:
+		return "vm"
+	case ARMNested:
+		return "v8.3"
+	case ARMNestedVHE:
+		return "v8.3-vhe"
+	case NEVENested:
+		return "neve"
+	case NEVENestedVHE:
+		return "neve-vhe"
+	case X86VM:
+		return "x86-vm"
+	case X86Nested:
+		return "x86-nested"
+	default:
+		return ""
+	}
+}
+
+// Spec returns the platform spec backing the configuration.
+func (c ConfigID) Spec() platform.Spec {
+	return platform.MustLookup(c.SpecName())
+}
 
 func (c ConfigID) String() string {
 	switch c {
@@ -64,109 +94,24 @@ func (c ConfigID) IsNested() bool {
 
 // NICSPI is the shared peripheral interrupt of the synthetic NIC on the
 // ARM machine.
-const NICSPI = 48
+const NICSPI = platform.NICSPI
 
 // NICVector is the x86 device vector of the synthetic NIC.
-const NICVector = 0x51
+const NICVector = platform.NICVector
 
-// armEnv is one assembled ARM stack with workload adapters.
-type armEnv struct {
-	s *kvm.Stack
-	g *kvm.GuestCtx
-}
-
-var _ workload.Platform = (*armEnv)(nil)
-
-func newARMEnv(id ConfigID, cpus int) *armEnv {
-	opts := kvm.StackOptions{CPUs: cpus}
-	switch id {
-	case ARMNestedVHE:
-		opts.GuestVHE = true
-	case NEVENested:
-		opts.GuestNEVE = true
-	case NEVENestedVHE:
-		opts.GuestVHE = true
-		opts.GuestNEVE = true
-	}
-	var s *kvm.Stack
-	if id == ARMVM {
-		s = kvm.NewVMStack(opts)
-	} else {
-		s = kvm.NewNestedStack(opts)
-	}
-	s.M.Dist.Route(NICSPI, 0)
-	return &armEnv{s: s}
-}
-
-// InjectDeviceIRQ implements workload.Platform.
-func (e *armEnv) InjectDeviceIRQ() {
-	e.s.M.Dist.AssertSPI(NICSPI)
-}
-
-// ServicePeer implements workload.Platform.
-func (e *armEnv) ServicePeer() {
-	if len(e.s.M.CPUs) > 1 {
-		e.s.Host.Service(e.s.M.CPUs[1])
-	}
-}
-
-// HasPeer implements workload.Platform.
-func (e *armEnv) HasPeer() bool { return len(e.s.M.CPUs) > 1 }
-
-// x86Env is one assembled x86 stack with workload adapters.
-type x86Env struct {
-	s *x86.Stack
-	g *x86.GuestCtx
-}
-
-var _ workload.Platform = (*x86Env)(nil)
-
-func newX86Env(id ConfigID, cpus int) *x86Env {
-	s := x86.NewStack(x86.StackOptions{
-		CPUs:      cpus,
-		Nested:    id == X86Nested,
-		Shadowing: true,
-	})
-	return &x86Env{s: s}
-}
-
-// InjectDeviceIRQ implements workload.Platform.
-func (e *x86Env) InjectDeviceIRQ() {
-	e.s.CPUs[0].AssertIRQ(NICVector)
-}
-
-// ServicePeer implements workload.Platform.
-func (e *x86Env) ServicePeer() {
-	if len(e.s.CPUs) > 1 {
-		e.s.Service(1)
-	}
-}
-
-// HasPeer implements workload.Platform.
-func (e *x86Env) HasPeer() bool { return len(e.s.CPUs) > 1 }
-
-// prepPeer loads vCPU 1's innermost guest so it can receive IPIs.
-func (e *armEnv) prepPeer() {
-	if len(e.s.M.CPUs) < 2 {
-		return
-	}
-	if e.s.GuestHyp != nil {
-		e.s.Host.PreparePeerNested(e.s.VM.VCPUs[1])
-		return
-	}
-	e.s.Host.PreparePeerVM(e.s.VM.VCPUs[1])
+// build assembles the configuration's platform with the benchmark's CPU
+// count. Registry specs are valid by construction, so Build cannot fail.
+func build(id ConfigID, cpus int) platform.Platform {
+	spec := id.Spec()
+	spec.CPUs = cpus
+	return platform.MustBuild(spec)
 }
 
 // RunMicro measures one microbenchmark operation (warm) on configuration
 // id, returning cycles and traps to the host hypervisor.
 func RunMicro(id ConfigID, op MicroOp) (cycles, traps uint64) {
 	const cpus = 2
-	if id.IsARM() {
-		e := newARMEnv(id, cpus)
-		return runMicroARM(e, op)
-	}
-	e := newX86Env(id, cpus)
-	return runMicroX86(e, op)
+	return RunMicroOn(build(id, cpus), op)
 }
 
 // MicroOp selects a microbenchmark (Table 1/6/7 rows).
@@ -197,8 +142,18 @@ func (m MicroOp) String() string {
 // MicroOps returns all microbenchmarks in table order.
 func MicroOps() []MicroOp { return []MicroOp{Hypercall, DeviceIO, VirtualIPI, VirtualEOI} }
 
-func runMicroARM(e *armEnv, op MicroOp) (cycles, traps uint64) {
-	s := e.s
+// RunMicroOn measures one microbenchmark operation (warm) on an already
+// built platform — any spec the platform layer can express, not only the
+// seven table columns (cmd/nevesim's `run` subcommand).
+func RunMicroOn(p platform.Platform, op MicroOp) (cycles, traps uint64) {
+	if p.ARM() != nil {
+		return runMicroARM(p, op)
+	}
+	return runMicroX86(p, op)
+}
+
+func runMicroARM(p platform.Platform, op MicroOp) (cycles, traps uint64) {
+	s := p.ARM()
 	switch op {
 	case Hypercall, DeviceIO:
 		s.RunGuest(0, func(g *kvm.GuestCtx) {
@@ -215,7 +170,7 @@ func runMicroARM(e *armEnv, op MicroOp) (cycles, traps uint64) {
 		traps = s.M.Trace.Total()
 	case VirtualIPI:
 		c0, c1 := s.M.CPUs[0], s.M.CPUs[1]
-		e.prepPeer()
+		p.PreparePeer()
 		const rounds = 3
 		s.RunGuest(0, func(g *kvm.GuestCtx) {
 			for i := 0; i < rounds; i++ {
@@ -246,8 +201,8 @@ func runMicroARM(e *armEnv, op MicroOp) (cycles, traps uint64) {
 	return cycles, traps
 }
 
-func runMicroX86(e *x86Env, op MicroOp) (cycles, traps uint64) {
-	s := e.s
+func runMicroX86(p platform.Platform, op MicroOp) (cycles, traps uint64) {
+	s := p.X86()
 	switch op {
 	case Hypercall, DeviceIO:
 		s.RunGuest(0, func(g *x86.GuestCtx) {
@@ -264,7 +219,7 @@ func runMicroX86(e *x86Env, op MicroOp) (cycles, traps uint64) {
 		traps = s.Trace.Total()
 	case VirtualIPI:
 		c0, c1 := s.CPUs[0], s.CPUs[1]
-		s.LoadTarget(1)
+		p.PreparePeer()
 		const rounds = 3
 		s.RunGuest(0, func(g *x86.GuestCtx) {
 			for i := 0; i < rounds; i++ {
@@ -302,19 +257,11 @@ func RunApp(id ConfigID, p workload.Profile) (overhead float64, res workload.Res
 	native := &workload.Native{}
 	nres := p.Run(native, native, native)
 
-	if id.IsARM() {
-		e := newARMEnv(id, 2)
-		e.prepPeer()
-		e.s.RunGuest(0, func(g *kvm.GuestCtx) {
-			res = p.Run(g, g, e)
-		})
-	} else {
-		e := newX86Env(id, 2)
-		e.s.LoadTarget(1)
-		e.s.RunGuest(0, func(g *x86.GuestCtx) {
-			res = p.Run(g, g, e)
-		})
-	}
+	plat := build(id, 2)
+	plat.PreparePeer()
+	plat.RunGuest(0, func(g platform.Guest) {
+		res = p.Run(g, g, plat)
+	})
 	overhead = float64(res.Cycles) / float64(nres.Cycles)
 	return overhead, res
 }

@@ -23,15 +23,20 @@ type EventRow struct {
 
 // RunFigure2Events collects event counts for a subset of configurations
 // (the interesting columns of the anomaly analysis).
-func RunFigure2Events(configs []ConfigID) []EventRow {
+func (h Harness) RunFigure2Events(configs []ConfigID) []EventRow {
 	profiles := workload.Profiles()
 	out := make([]EventRow, len(profiles)*len(configs))
-	forEachCell(len(out), func(i int) {
+	h.forEachCell(len(out), func(i int) {
 		p, cfg := profiles[i/len(configs)], configs[i%len(configs)]
 		ov, res := RunApp(cfg, p)
 		out[i] = EventRow{Workload: p.Name, Config: cfg, Result: res, Overhead: ov}
 	})
 	return out
+}
+
+// RunFigure2Events collects event counts with the default harness.
+func RunFigure2Events(configs []ConfigID) []EventRow {
+	return Harness{}.RunFigure2Events(configs)
 }
 
 // FormatFigure2Events renders the event-count table.

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from this run's output")
+
+// TestGoldenTables pins every table and figure byte-for-byte: the paper's
+// numbers are emergent from the simulation, so any refactor of the stack
+// assembly or the harness must leave all of them untouched. Regenerate
+// deliberately with `go test ./internal/bench -run TestGolden -update`.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite sweep")
+	}
+	micro := RunAllMicro()
+	artifacts := []struct {
+		name string
+		got  string
+	}{
+		{"table1", FormatTable1(micro)},
+		{"table6", FormatTable6(micro)},
+		{"table7", FormatTable7(micro)},
+		{"fig2", FormatFigure2(RunFigure2())},
+		{"ablation", FormatAblation(RunAblation(false))},
+	}
+	for _, a := range artifacts {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			path := filepath.Join("testdata", a.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(a.got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if a.got != string(want) {
+				t.Errorf("%s diverged from golden\n--- want\n%s--- got\n%s", a.name, want, a.got)
+			}
+		})
+	}
+}

@@ -10,33 +10,29 @@ import (
 // harness's parallel speedup on this machine.
 
 func BenchmarkFig2Sequential(b *testing.B) {
-	defer SetParallelism(0)
-	SetParallelism(1)
+	h := Harness{Parallelism: 1}
 	for i := 0; i < b.N; i++ {
-		RunFigure2()
+		h.RunFigure2()
 	}
 }
 
 func BenchmarkFig2Parallel(b *testing.B) {
-	defer SetParallelism(0)
-	SetParallelism(runtime.GOMAXPROCS(0))
+	h := Harness{Parallelism: runtime.GOMAXPROCS(0)}
 	for i := 0; i < b.N; i++ {
-		RunFigure2()
+		h.RunFigure2()
 	}
 }
 
 func BenchmarkMicroSequential(b *testing.B) {
-	defer SetParallelism(0)
-	SetParallelism(1)
+	h := Harness{Parallelism: 1}
 	for i := 0; i < b.N; i++ {
-		RunAllMicro()
+		h.RunAllMicro()
 	}
 }
 
 func BenchmarkMicroParallel(b *testing.B) {
-	defer SetParallelism(0)
-	SetParallelism(runtime.GOMAXPROCS(0))
+	h := Harness{Parallelism: runtime.GOMAXPROCS(0)}
 	for i := 0; i < b.N; i++ {
-		RunAllMicro()
+		h.RunAllMicro()
 	}
 }

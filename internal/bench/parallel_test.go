@@ -15,15 +15,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full double suite sweep")
 	}
-	defer SetParallelism(0)
+	seq := Harness{Parallelism: 1}
+	par := Harness{Parallelism: 8}
 
-	SetParallelism(1)
-	seqMicro := RunAllMicro()
-	seqApps := RunFigure2()
+	seqMicro := seq.RunAllMicro()
+	seqApps := seq.RunFigure2()
 
-	SetParallelism(8)
-	parMicro := RunAllMicro()
-	parApps := RunFigure2()
+	parMicro := par.RunAllMicro()
+	parApps := par.RunFigure2()
 
 	if len(seqMicro) != len(parMicro) {
 		t.Fatalf("micro cell count: sequential %d, parallel %d", len(seqMicro), len(parMicro))
@@ -58,15 +57,14 @@ func TestParallelMatchesSequentialAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("double ablation sweep")
 	}
-	defer SetParallelism(0)
+	seq := Harness{Parallelism: 1}
+	par := Harness{Parallelism: 8}
 	cfgs := []ConfigID{ARMNested, NEVENested}
 
-	SetParallelism(1)
-	seqAbl := RunAblation(false)
-	seqEv := RunFigure2Events(cfgs)
-	SetParallelism(8)
-	parAbl := RunAblation(false)
-	parEv := RunFigure2Events(cfgs)
+	seqAbl := seq.RunAblation(false)
+	seqEv := seq.RunFigure2Events(cfgs)
+	parAbl := par.RunAblation(false)
+	parEv := par.RunFigure2Events(cfgs)
 
 	if !reflect.DeepEqual(seqAbl, parAbl) {
 		t.Errorf("ablation diverged:\nsequential %+v\nparallel   %+v", seqAbl, parAbl)
@@ -77,12 +75,11 @@ func TestParallelMatchesSequentialAblation(t *testing.T) {
 }
 
 func TestForEachCellCoversAllIndicesOnce(t *testing.T) {
-	defer SetParallelism(0)
 	for _, workers := range []int{1, 2, 7, 64} {
-		SetParallelism(workers)
+		h := Harness{Parallelism: workers}
 		const n = 100
 		var counts [n]int32
-		forEachCell(n, func(i int) {
+		h.forEachCell(n, func(i int) {
 			atomic.AddInt32(&counts[i], 1)
 		})
 		for i, c := range counts {
@@ -94,32 +91,37 @@ func TestForEachCellCoversAllIndicesOnce(t *testing.T) {
 }
 
 func TestForEachCellZeroAndSmall(t *testing.T) {
-	defer SetParallelism(0)
-	SetParallelism(16)
+	h := Harness{Parallelism: 16}
 	ran := false
-	forEachCell(0, func(int) { ran = true })
+	h.forEachCell(0, func(int) { ran = true })
 	if ran {
 		t.Fatal("forEachCell(0) invoked a task")
 	}
 	var one int32
-	forEachCell(1, func(i int) { atomic.AddInt32(&one, 1) })
+	h.forEachCell(1, func(i int) { atomic.AddInt32(&one, 1) })
 	if one != 1 {
 		t.Fatalf("forEachCell(1) ran %d tasks", one)
 	}
 }
 
-func TestParallelismDefaultAndOverride(t *testing.T) {
-	defer SetParallelism(0)
-	SetParallelism(3)
-	if got := Parallelism(); got != 3 {
-		t.Fatalf("Parallelism = %d, want 3", got)
+func TestHarnessWorkersDefaultAndOverride(t *testing.T) {
+	if got := (Harness{Parallelism: 3}).Workers(); got != 3 {
+		t.Fatalf("Workers = %d, want 3", got)
 	}
-	SetParallelism(0)
-	if got := Parallelism(); got < 1 {
-		t.Fatalf("default Parallelism = %d, want >= 1", got)
+	if got := (Harness{}).Workers(); got < 1 {
+		t.Fatalf("default Workers = %d, want >= 1", got)
 	}
-	SetParallelism(-5)
-	if got := Parallelism(); got < 1 {
-		t.Fatalf("Parallelism after negative set = %d, want default >= 1", got)
+	if got := (Harness{Parallelism: -5}).Workers(); got < 1 {
+		t.Fatalf("Workers with negative parallelism = %d, want default >= 1", got)
+	}
+}
+
+func TestHarnessConfigsDefaultAndOverride(t *testing.T) {
+	if got := (Harness{}).configs(); !reflect.DeepEqual(got, AllConfigs()) {
+		t.Fatalf("default configs = %v, want AllConfigs", got)
+	}
+	want := []ConfigID{NEVENested}
+	if got := (Harness{Configs: want}).configs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("configs = %v, want %v", got, want)
 	}
 }

@@ -42,16 +42,16 @@ type Report struct {
 }
 
 // RunBenchReport times the microbenchmark suite and Figure 2 under the
-// current parallelism setting.
-func RunBenchReport() Report {
+// harness's parallelism.
+func (h Harness) RunBenchReport() Report {
 	r := Report{
 		Date:        time.Now().Format("2006-01-02"),
-		Parallelism: Parallelism(),
+		Parallelism: h.Workers(),
 	}
 	start := time.Now()
 
 	t0 := time.Now()
-	micro := RunAllMicro()
+	micro := h.RunAllMicro()
 	var microCycles uint64
 	for _, c := range micro {
 		microCycles += c.Cycles
@@ -59,7 +59,7 @@ func RunBenchReport() Report {
 	r.Suites = append(r.Suites, suiteStats("micro", time.Since(t0), len(micro), microCycles))
 
 	t0 = time.Now()
-	apps := RunFigure2()
+	apps := h.RunFigure2()
 	var appCycles uint64
 	for _, c := range apps {
 		appCycles += c.Raw.Cycles
@@ -69,6 +69,9 @@ func RunBenchReport() Report {
 	r.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 	return r
 }
+
+// RunBenchReport times the suites with the default harness.
+func RunBenchReport() Report { return Harness{}.RunBenchReport() }
 
 func suiteStats(name string, wall time.Duration, cells int, simCycles uint64) SuiteStats {
 	secs := wall.Seconds()

@@ -36,19 +36,23 @@ type MicroResult struct {
 	Traps  uint64
 }
 
-// RunAllMicro measures every microbenchmark on every configuration. Cells
-// run across the worker pool (see SetParallelism); the result order is the
-// sequential table order regardless of worker count.
-func RunAllMicro() []MicroResult {
-	ops, cfgs := MicroOps(), AllConfigs()
+// RunAllMicro measures every microbenchmark on the harness's
+// configuration sweep. Cells run across the worker pool; the result order
+// is the sequential table order regardless of worker count.
+func (h Harness) RunAllMicro() []MicroResult {
+	ops, cfgs := MicroOps(), h.configs()
 	out := make([]MicroResult, len(ops)*len(cfgs))
-	forEachCell(len(out), func(i int) {
+	h.forEachCell(len(out), func(i int) {
 		op, cfg := ops[i/len(cfgs)], cfgs[i%len(cfgs)]
 		cyc, traps := RunMicro(cfg, op)
 		out[i] = MicroResult{Op: op, Config: cfg, Cycles: cyc, Traps: traps}
 	})
 	return out
 }
+
+// RunAllMicro measures every microbenchmark on every configuration with
+// the default harness.
+func RunAllMicro() []MicroResult { return Harness{}.RunAllMicro() }
 
 func cell(results []MicroResult, op MicroOp, cfg ConfigID) *MicroResult {
 	for i := range results {
@@ -166,18 +170,23 @@ type AppResult struct {
 	Raw      workload.Result
 }
 
-// RunFigure2 measures every application workload on every configuration.
-// Cells run across the worker pool in deterministic sequential order.
-func RunFigure2() []AppResult {
-	profiles, cfgs := workload.Profiles(), AllConfigs()
+// RunFigure2 measures every application workload on the harness's
+// configuration sweep. Cells run across the worker pool in deterministic
+// sequential order.
+func (h Harness) RunFigure2() []AppResult {
+	profiles, cfgs := workload.Profiles(), h.configs()
 	out := make([]AppResult, len(profiles)*len(cfgs))
-	forEachCell(len(out), func(i int) {
+	h.forEachCell(len(out), func(i int) {
 		p, cfg := profiles[i/len(cfgs)], cfgs[i%len(cfgs)]
 		ov, raw := RunApp(cfg, p)
 		out[i] = AppResult{Workload: p.Name, Config: cfg, Overhead: ov, Raw: raw}
 	})
 	return out
 }
+
+// RunFigure2 measures every application workload on every configuration
+// with the default harness.
+func RunFigure2() []AppResult { return Harness{}.RunFigure2() }
 
 // FormatFigure2 renders Figure 2 as a table of normalized overheads.
 func FormatFigure2(results []AppResult) string {

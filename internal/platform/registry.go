@@ -1,0 +1,92 @@
+package platform
+
+// The registry names the evaluated configuration matrix: the paper's
+// seven columns (Tables 1/6/7 and Figure 2's legend), the NEVE mechanism
+// ablation subsets, the optimized-VHE projection, the recursive (L3)
+// stacks, and representative off-matrix combinations. Ad-hoc points are
+// expressed as axis lists (see Parse).
+
+// registry is in display order: paper columns first, extensions after.
+var registry = []Spec{
+	// The seven paper configurations.
+	{Name: "vm", Arch: ARM, Nesting: 1},
+	{Name: "v8.3", Arch: ARM, Nesting: 2},
+	{Name: "v8.3-vhe", Arch: ARM, Nesting: 2, GuestVHE: true},
+	{Name: "neve", Arch: ARM, Nesting: 2, NEVE: true},
+	{Name: "neve-vhe", Arch: ARM, Nesting: 2, GuestVHE: true, NEVE: true},
+	{Name: "x86-vm", Arch: X86, Nesting: 1},
+	{Name: "x86-nested", Arch: X86, Nesting: 2},
+
+	// NEVE mechanism ablation subsets (Section 6's three techniques).
+	{Name: "neve-ablate-none", Arch: ARM, Nesting: 2, NEVE: true,
+		Ablation: &Ablation{DisableDefer: true, DisableRedirect: true, DisableCached: true}},
+	{Name: "neve-defer", Arch: ARM, Nesting: 2, NEVE: true,
+		Ablation: &Ablation{DisableRedirect: true, DisableCached: true}},
+	{Name: "neve-redirect", Arch: ARM, Nesting: 2, NEVE: true,
+		Ablation: &Ablation{DisableDefer: true, DisableCached: true}},
+	{Name: "neve-cached", Arch: ARM, Nesting: 2, NEVE: true,
+		Ablation: &Ablation{DisableDefer: true, DisableRedirect: true}},
+	{Name: "neve-defer-redirect", Arch: ARM, Nesting: 2, NEVE: true,
+		Ablation: &Ablation{DisableCached: true}},
+
+	// The optimized VHE guest hypervisor projection (Section 7.1).
+	{Name: "optvhe", Arch: ARM, Nesting: 2, GuestVHE: true, NEVE: true, OptimizedVHE: true},
+
+	// Recursive (L3) virtualization (Section 6.2).
+	{Name: "recursive-v8.3", Arch: ARM, Nesting: 3},
+	{Name: "recursive-neve", Arch: ARM, Nesting: 3, NEVE: true},
+
+	// Off-matrix combinations the paper's hardware motivated: the actual
+	// evaluation machines had GICv2 and no VHE in the host, and the
+	// methodology ran paravirtualized hypervisors on pre-NV silicon.
+	{Name: "gicv2-hostvhe-neve", Arch: ARM, Nesting: 2, GICv2: true, HostVHE: true, NEVE: true},
+	{Name: "paravirt-v8.0", Arch: ARM, Feat: FeatV80, Nesting: 2, Paravirt: true},
+}
+
+// Registry returns the named specs in display order (a copy).
+func Registry() []Spec {
+	out := make([]Spec, len(registry))
+	for i, s := range registry {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+// clone deep-copies the spec so callers can tweak Ablation without
+// mutating the registry.
+func (s Spec) clone() Spec {
+	if s.Ablation != nil {
+		abl := *s.Ablation
+		s.Ablation = &abl
+	}
+	return s
+}
+
+// Names returns the registry names in display order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup resolves a registry name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s.clone(), true
+		}
+	}
+	return Spec{}, false
+}
+
+// MustLookup resolves a registry name, panicking on unknown names; for
+// static references to specs the registry is known to contain.
+func MustLookup(name string) Spec {
+	s, ok := Lookup(name)
+	if !ok {
+		panic("platform: unknown registry spec " + name)
+	}
+	return s
+}

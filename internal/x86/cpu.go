@@ -140,6 +140,13 @@ type CPU struct {
 	inIRQ      bool
 
 	cycles uint64
+
+	// levelCycles attributes elapsed cycles to the virtualization level
+	// that spent them (0 = host hypervisor); lastAttributed marks the
+	// cycle count at the previous attribution point. Mirrors the ARM
+	// core's attribution so both architectures expose the same breakdown.
+	levelCycles    [8]uint64
+	lastAttributed uint64
 }
 
 // NewCPU returns a core attached to m.
@@ -149,6 +156,31 @@ func NewCPU(id int, m *mem.Memory) *CPU {
 
 // Cycles returns the cycle counter.
 func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// attribute charges the cycles elapsed since the last attribution point to
+// the level that was running.
+func (c *CPU) attribute(level int) {
+	if level >= 0 && level < len(c.levelCycles) {
+		c.levelCycles[level] += c.cycles - c.lastAttributed
+	}
+	c.lastAttributed = c.cycles
+}
+
+// LevelCycles returns how many cycles each virtualization level has spent
+// on this core (0 = root mode, 1 = guest hypervisor or VM, 2 = nested VM):
+// the per-level breakdown behind the exit multiplication comparison.
+func (c *CPU) LevelCycles() []uint64 {
+	c.attribute(c.level)
+	out := make([]uint64, len(c.levelCycles))
+	copy(out, c.levelCycles[:])
+	return out
+}
+
+// ResetLevelCycles clears the per-level attribution.
+func (c *CPU) ResetLevelCycles() {
+	c.levelCycles = [8]uint64{}
+	c.lastAttributed = c.cycles
+}
 
 // AddCycles charges raw cycles.
 func (c *CPU) AddCycles(n uint64) { c.cycles += n }
@@ -169,6 +201,7 @@ func (c *CPU) Level() int { return c.level }
 func (c *CPU) SetGuestLevel(l int) {
 	c.guestLevel = l
 	if c.nonRoot {
+		c.attribute(c.level)
 		c.level = l
 	}
 }
@@ -366,12 +399,12 @@ func (c *CPU) exit(e *Exit) uint64 {
 		panic("x86: VM exit with no root handler")
 	}
 	c.nonRoot = false
-	prevLevel := c.level
-	_ = prevLevel
+	c.attribute(c.level)
 	c.level = 0
 	v := c.Vector.HandleExit(c, e)
 	c.cycles += c.Cost.VMEntryHW
 	c.nonRoot = true
+	c.attribute(0)
 	c.level = c.guestLevel
 	c.deliverPosted()
 	return v
@@ -384,11 +417,13 @@ func (c *CPU) RunGuest(level int, fn func()) {
 		panic("x86: RunGuest in non-root mode")
 	}
 	c.cycles += c.Cost.VMEntryHW
+	c.attribute(0)
 	c.nonRoot = true
 	c.SetGuestLevel(level)
 	c.deliverPosted()
 	fn()
 	c.nonRoot = false
+	c.attribute(c.level)
 	c.level = 0
 }
 

@@ -26,9 +26,43 @@ import (
 	"github.com/nevesim/neve/internal/bench"
 	"github.com/nevesim/neve/internal/core"
 	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/platform"
 	"github.com/nevesim/neve/internal/workload"
 	"github.com/nevesim/neve/internal/x86"
 )
+
+// Declarative platform configuration (the preferred entry point).
+
+// Spec declaratively describes one simulated platform: architecture,
+// feature revision, nesting depth, VHE, NEVE and its mechanism subset,
+// interrupt controller, and machine shape. Build validates it and
+// assembles the stack.
+type Spec = platform.Spec
+
+// Platform is an assembled simulation stack behind a uniform interface:
+// guest execution, trace collection, and per-level cycle attribution for
+// both ARM and x86.
+type Platform = platform.Platform
+
+// Guest is the architecture-neutral guest context handed to RunGuest.
+type Guest = platform.Guest
+
+// Build validates a Spec and assembles the platform it describes. Illegal
+// axis combinations (NEVE before v8.4, recursive nesting without NV, ...)
+// are rejected with an error.
+func Build(s Spec) (Platform, error) { return platform.Build(s) }
+
+// ParseSpec resolves a configuration string — a registry name such as
+// "neve-vhe", or a comma-separated axis list such as
+// "arch=arm,feat=v8.4,nesting=2,neve,gicv2" — into a validated Spec.
+func ParseSpec(config string) (Spec, error) { return platform.Parse(config) }
+
+// SpecNames returns the named platform registry (the seven paper
+// configurations plus the ablation, optimized-VHE, and recursive specs).
+func SpecNames() []string { return platform.Names() }
+
+// LookupSpec returns a registry spec by name.
+func LookupSpec(name string) (Spec, bool) { return platform.Lookup(name) }
 
 // Stack assembly.
 
@@ -135,10 +169,11 @@ func RunApp(id ConfigID, p Profile) (overhead float64, res workload.Result) {
 // MicroResult is one measured microbenchmark cell.
 type MicroResult = bench.MicroResult
 
-// SetParallelism sets the worker count the experiment suites fan their
-// cells across (0 restores the GOMAXPROCS default). Parallel runs produce
-// results identical to sequential runs, in the same order.
-func SetParallelism(n int) { bench.SetParallelism(n) }
+// Harness scopes one experiment run: worker parallelism and the
+// configuration sweep. The zero value runs every configuration with
+// GOMAXPROCS workers; parallel runs produce results identical to
+// sequential runs, in the same order.
+type Harness = bench.Harness
 
 // RunAllMicro measures every microbenchmark on every configuration,
 // fanning cells across the worker pool in deterministic table order.
