@@ -1,12 +1,13 @@
 # Build/test/CI entry points. `make ci` is the gate: vet, gofmt, the full
 # test suite under the race detector — load-bearing now that the
 # experiment harness fans cells across goroutines — and an examples smoke
-# test.
+# test, plus a one-iteration benchmark smoke and the machine-readable
+# BENCH_<date>.json snapshot.
 
 GO ?= go
 EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet fmt-check examples-smoke ci bench bench-json
+.PHONY: all build test race vet fmt-check examples-smoke ci bench bench-smoke bench-json profile
 
 all: build test
 
@@ -36,13 +37,29 @@ examples-smoke:
 		$(GO) run ./examples/$$ex >/dev/null || exit 1; \
 	done
 
-ci: vet fmt-check race examples-smoke
+ci: vet fmt-check race examples-smoke bench-smoke bench-json
 
-# Go benchmarks for the simulator's own speed (not the paper's numbers).
+# Go benchmarks for the simulator's own speed (not the paper's numbers):
+# memory/TLB fast paths, the trap hot path, the trace collector, and the
+# end-to-end experiment cells.
 bench:
 	$(GO) test -run=NONE -bench 'BenchmarkMemoryReadWrite|BenchmarkTLB' ./internal/mem/ ./internal/mmu/
+	$(GO) test -run=NONE -bench 'BenchmarkTrap|BenchmarkMSRFastPath' ./internal/arm/
+	$(GO) test -run=NONE -bench 'BenchmarkCollectorTrap' ./internal/trace/
 	$(GO) test -run=NONE -bench 'BenchmarkFig2|BenchmarkMicro' -benchtime 1x ./internal/bench/
+
+# One-iteration pass over every benchmark: cheap CI proof that they run.
+bench-smoke:
+	$(GO) test -run=NONE -bench . -benchtime 1x ./internal/mem/ ./internal/mmu/ ./internal/arm/ ./internal/trace/ ./internal/bench/
 
 # Machine-readable perf trajectory: writes BENCH_<date>.json.
 bench-json:
 	$(GO) run ./cmd/nevesim bench -json
+
+# Capture pprof profiles of the full suite run; see EXPERIMENTS.md
+# ("Profiling") for how to read them.
+profile:
+	$(GO) run ./cmd/nevesim bench -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with:"
+	@echo "  $(GO) tool pprof -top cpu.pprof"
+	@echo "  $(GO) tool pprof -top -sample_index=alloc_objects mem.pprof"

@@ -11,7 +11,8 @@
 //	nevesim ablation   NEVE mechanism ablation (Section 6 attribution)
 //	nevesim optvhe     Section 7.1: optimized VHE guest hypervisor
 //	nevesim recursive  Section 6.2: an L3 hypercall, ARMv8.3 vs NEVE
-//	nevesim bench      time the suites; -json writes BENCH_<date>.json
+//	nevesim bench      time the suites; -json writes BENCH_<date>.json,
+//	                   -cpuprofile/-memprofile capture pprof profiles
 //	nevesim run        microbenchmark one configuration: -config <name|axes>
 //	nevesim all        everything above except bench and run
 //
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/bench"
@@ -100,12 +103,42 @@ func main() {
 }
 
 // benchReport times the suites; with -json it writes BENCH_<date>.json in
-// the current directory for cross-PR performance tracking.
+// the current directory for cross-PR performance tracking, and with
+// -cpuprofile/-memprofile it captures pprof profiles of the run (the
+// profiling toolchain behind `make profile`; see EXPERIMENTS.md).
 func benchReport(h bench.Harness, args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "write BENCH_<date>.json")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Parse(args)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nevesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nevesim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	r := h.RunBenchReport()
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nevesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live objects, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nevesim:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Print(bench.FormatReport(r))
 	if *jsonOut {
 		name := r.Filename()

@@ -60,7 +60,7 @@ func main() {
 
 	fmt.Println("trap-by-trap (level 2 = nested VM, level 1 = guest hypervisor):")
 	for i, ev := range p.Trace().Events() {
-		fmt.Printf("  %3d  L%d  %-24s @%d\n", i+1, ev.FromLevel, ev.Detail, ev.Cycle)
+		fmt.Printf("  %3d  L%d  %-24s @%d\n", i+1, ev.FromLevel, ev.Detail(), ev.Cycle)
 	}
 	fmt.Println()
 	fmt.Print(p.Trace().Summary())

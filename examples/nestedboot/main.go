@@ -64,6 +64,6 @@ func main() {
 			fmt.Printf("  ... %d more\n", len(events)-20)
 			break
 		}
-		fmt.Printf("  %3d  L%d  %s\n", i+1, ev.FromLevel, ev.Detail)
+		fmt.Printf("  %3d  L%d  %s\n", i+1, ev.FromLevel, ev.Detail())
 	}
 }

@@ -1,0 +1,117 @@
+package arm
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// nullHandler answers every trap without retaining the exception, like a
+// steady-state hypervisor fast path; recHandler would allocate appending
+// to its log and mask what the trap path itself costs.
+type nullHandler struct{}
+
+func (nullHandler) HandleTrap(c *CPU, e *Exception) uint64 { return 0 }
+
+// newBenchCPU builds a counting-mode (non-recording) CPU: the configuration
+// the sweeps and benchmarks run, where the trap path must not allocate.
+func newBenchCPU(feat Features) *CPU {
+	c := NewCPU(0, mem.New(0), feat)
+	c.Vector = nullHandler{}
+	c.Trace = trace.NewCollector(false)
+	return c
+}
+
+func TestTrapAllocsHVC(t *testing.T) {
+	c := newBenchCPU(FeaturesV83())
+	enterGuestEL1(c, HCRNV, 2)
+	c.HVC(0) // warm up collector internals
+	allocs := testing.AllocsPerRun(1000, func() { c.HVC(0) })
+	if allocs != 0 {
+		t.Fatalf("HVC trap allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTrapAllocsSysReg(t *testing.T) {
+	c := newBenchCPU(FeaturesV83())
+	enterGuestEL1(c, HCRNV, 2)
+	c.MSR(VTTBR_EL2, 1)
+	allocs := testing.AllocsPerRun(1000, func() { c.MSR(VTTBR_EL2, 1) })
+	if allocs != 0 {
+		t.Fatalf("MSR trap allocates %.1f per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() { _ = c.MRS(VTTBR_EL2) })
+	if allocs != 0 {
+		t.Fatalf("MRS trap allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// redirectEngine models the NEVE redirect mechanism without the page: the
+// minimal engine that exercises the NV2 value-exchange plumbing.
+type redirectEngine struct{}
+
+func (redirectEngine) Access(c *CPU, r SysReg, write bool, val *uint64) NV2Outcome {
+	if write {
+		c.SetReg(r, *val)
+	} else {
+		*val = c.Reg(r)
+	}
+	return NV2Redirected
+}
+
+func TestNV2AccessAllocs(t *testing.T) {
+	// The NEVE deferred path: a virtual-EL2 access satisfied by the NV2
+	// engine instead of trapping must not allocate either (the value is
+	// exchanged through a CPU scratch slot, not an escaping stack address).
+	c := newBenchCPU(FeaturesV84())
+	c.NV2 = redirectEngine{}
+	enterGuestEL1(c, HCRNV|HCRNV2, 1)
+	c.MSR(VTTBR_EL2, 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.MSR(VTTBR_EL2, 2)
+		_ = c.MRS(VTTBR_EL2)
+	})
+	if allocs != 0 {
+		t.Fatalf("NV2-deferred access allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestNoTrapAccessAllocs(t *testing.T) {
+	// The non-trapping fast path: native sysreg access at EL2.
+	c := newBenchCPU(FeaturesV83())
+	c.MSR(VTTBR_EL2, 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.MSR(VTTBR_EL2, 2)
+		_ = c.MRS(VTTBR_EL2)
+	})
+	if allocs != 0 {
+		t.Fatalf("EL2 sysreg access allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkTrapHVC(b *testing.B) {
+	c := newBenchCPU(FeaturesV83())
+	enterGuestEL1(c, HCRNV, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.HVC(0)
+	}
+}
+
+func BenchmarkTrapSysReg(b *testing.B) {
+	c := newBenchCPU(FeaturesV83())
+	enterGuestEL1(c, HCRNV, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.MSR(VTTBR_EL2, uint64(i))
+	}
+}
+
+func BenchmarkMSRFastPath(b *testing.B) {
+	c := newBenchCPU(FeaturesV83())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.MSR(VTTBR_EL2, uint64(i))
+	}
+}

@@ -28,6 +28,15 @@ type SysRegDevice interface {
 	SysRegWrite(c *CPU, r SysReg, v uint64) (handled bool)
 }
 
+// SysRegClaimer lets a device declare, at AddDevice time, the registers it
+// may ever handle, so the per-access dispatch indexes straight to the
+// interested devices. A device that does not implement it is dispatched on
+// every Device-flagged register (the pre-table behavior); either way the
+// handled result still decides at access time.
+type SysRegClaimer interface {
+	SysRegClaims() []SysReg
+}
+
 // CPU is one simulated ARMv8 core. It is not safe for concurrent use; the
 // machine model steps cores deterministically.
 type CPU struct {
@@ -64,11 +73,33 @@ type CPU struct {
 	lastAttributed uint64
 
 	devices []SysRegDevice
+	// devTable dispatches device-register accesses: devTable[r] holds, in
+	// registration order, exactly the devices that may claim r. Built at
+	// AddDevice time so raw() indexes instead of scanning every device.
+	devTable [NumSysRegs][]SysRegDevice
+
+	// excPool stages in-flight Exceptions, one slot per nesting depth, so
+	// the steady-state trap path performs no heap allocation. Slots are
+	// live only for the duration of the handler call at their depth;
+	// handlers that keep exception data copy it (they all do).
+	excPool  [maxTrapDepth]Exception
+	excDepth int
+
+	// nv2Val stages the value exchanged with the NV2 engine. Passing a
+	// stack variable's address through the interface call would force a
+	// heap allocation per deferred access; the engine performs the access
+	// synchronously and never re-enters MRS/MSR, so one slot suffices.
+	nv2Val uint64
 
 	pendingIRQ []int
 	irqMasked  bool
 	inVIRQ     bool
 }
+
+// maxTrapDepth bounds the pooled trap nesting (recursive virtualization
+// forwards exits through at most a few levels); deeper nesting falls back
+// to heap allocation rather than failing.
+const maxTrapDepth = 16
 
 // NewCPU returns a core with the given features, attached to physical
 // memory m, using the default cost model, initially at EL2.
@@ -82,8 +113,23 @@ func NewCPU(id int, m *mem.Memory, feat Features) *CPU {
 	}
 }
 
-// AddDevice registers a system register device (timer, GIC CPU interface).
-func (c *CPU) AddDevice(d SysRegDevice) { c.devices = append(c.devices, d) }
+// AddDevice registers a system register device (timer, GIC CPU interface)
+// and indexes it into the per-register dispatch table.
+func (c *CPU) AddDevice(d SysRegDevice) {
+	c.devices = append(c.devices, d)
+	if cl, ok := d.(SysRegClaimer); ok {
+		for _, r := range cl.SysRegClaims() {
+			c.devTable[r] = append(c.devTable[r], d)
+		}
+		return
+	}
+	// No declaration: dispatch on every register with device semantics.
+	for r := RegInvalid + 1; r < numSysRegs; r++ {
+		if Info(r).Device {
+			c.devTable[r] = append(c.devTable[r], d)
+		}
+	}
+}
 
 // Cycles returns the core's cycle counter.
 func (c *CPU) Cycles() uint64 { return c.cycles }
@@ -247,10 +293,10 @@ func (c *CPU) access(r SysReg, info RegInfo, write bool, wval uint64) uint64 {
 			panic(&UndefError{Reg: r, EL: c.el})
 		}
 		if hcr&HCRNV2 != 0 && c.Feat.NV2 && c.NV2 != nil {
-			val := wval
-			switch c.NV2.Access(c, r, write, &val) {
+			c.nv2Val = wval
+			switch c.NV2.Access(c, r, write, &c.nv2Val) {
 			case NV2Memory, NV2Redirected:
-				return val
+				return c.nv2Val
 			}
 		}
 		return c.trapSysReg(r, write, wval)
@@ -259,10 +305,10 @@ func (c *CPU) access(r SysReg, info RegInfo, write bool, wval uint64) uint64 {
 		// its VM's virtual EL1 state and must not clobber the hardware EL1
 		// registers that hold the guest hypervisor's own state (Section 4).
 		if hcr&HCRNV2 != 0 && c.Feat.NV2 && c.NV2 != nil {
-			val := wval
-			switch c.NV2.Access(c, r, write, &val) {
+			c.nv2Val = wval
+			switch c.NV2.Access(c, r, write, &c.nv2Val) {
 			case NV2Memory, NV2Redirected:
-				return val
+				return c.nv2Val
 			}
 		}
 		return c.trapSysReg(r, write, wval)
@@ -284,15 +330,13 @@ func (c *CPU) raw(r SysReg, write bool, wval uint64) uint64 {
 			return c.regs[VPIDR_EL2]
 		}
 	}
-	if Info(r).Device {
-		for _, d := range c.devices {
-			if write {
-				if d.SysRegWrite(c, r, wval) {
-					return wval
-				}
-			} else if v, ok := d.SysRegRead(c, r); ok {
-				return v
+	for _, d := range c.devTable[r] {
+		if write {
+			if d.SysRegWrite(c, r, wval) {
+				return wval
 			}
+		} else if v, ok := d.SysRegRead(c, r); ok {
+			return v
 		}
 	}
 	if write {
@@ -303,7 +347,7 @@ func (c *CPU) raw(r SysReg, write bool, wval uint64) uint64 {
 }
 
 func (c *CPU) trapSysReg(r SysReg, write bool, wval uint64) uint64 {
-	return c.trap(&Exception{EC: ECSysReg, Reg: r, Write: write, Val: wval})
+	return c.trapE(Exception{EC: ECSysReg, Reg: r, Write: write, Val: wval})
 }
 
 // HVC models the hvc instruction: a hypercall into EL2 carrying a 16-bit
@@ -312,7 +356,7 @@ func (c *CPU) HVC(imm uint16) uint64 {
 	if c.el == EL2 {
 		panic("arm: HVC at EL2 not modeled")
 	}
-	return c.trap(&Exception{EC: ECHVC64, Imm: imm})
+	return c.trapE(Exception{EC: ECHVC64, Imm: imm})
 }
 
 // SMC models the smc instruction trapped by HCR_EL2.TSC.
@@ -320,7 +364,7 @@ func (c *CPU) SMC(imm uint16) uint64 {
 	if c.el == EL2 {
 		panic("arm: SMC at EL2 not modeled")
 	}
-	return c.trap(&Exception{EC: ECSMC64, Imm: imm})
+	return c.trapE(Exception{EC: ECSMC64, Imm: imm})
 }
 
 // ERET models the eret instruction executed by a deprivileged guest
@@ -334,7 +378,7 @@ func (c *CPU) ERET() {
 	if c.regs[HCR_EL2]&HCRNV == 0 || !c.Feat.NV {
 		panic(&UndefError{EL: c.el, What: "ERET by deprivileged hypervisor without FEAT_NV"})
 	}
-	c.trap(&Exception{EC: ECERet})
+	c.trapE(Exception{EC: ECERet})
 }
 
 // WFI models the wfi instruction, trapped to EL2 by hypervisors.
@@ -342,7 +386,7 @@ func (c *CPU) WFI() {
 	if c.el == EL2 {
 		panic("arm: WFI at EL2 not modeled")
 	}
-	c.trap(&Exception{EC: ECWFx})
+	c.trapE(Exception{EC: ECWFx})
 }
 
 // Tick charges n instructions of guest work and is a preemption point:
@@ -367,7 +411,7 @@ func (c *CPU) checkIRQ() {
 	for len(c.pendingIRQ) > 0 && c.el != EL2 && c.regs[HCR_EL2]&HCRIMO != 0 {
 		intid := c.pendingIRQ[0]
 		c.pendingIRQ = c.pendingIRQ[1:]
-		c.trap(&Exception{EC: ECVirtIRQ, IRQ: intid})
+		c.trapE(Exception{EC: ECVirtIRQ, IRQ: intid})
 	}
 }
 
@@ -382,6 +426,23 @@ func (c *CPU) TakeIRQ() (int, bool) {
 	return intid, true
 }
 
+// trapE takes a synchronous exception by value and stages it in the
+// per-depth exception pool, so the steady-state trap path allocates
+// nothing; nesting deeper than the pool falls back to the heap.
+func (c *CPU) trapE(ev Exception) uint64 {
+	if c.excDepth < len(c.excPool) {
+		e := &c.excPool[c.excDepth]
+		*e = ev
+		c.excDepth++
+		v := c.trap(e)
+		c.excDepth--
+		return v
+	}
+	e := new(Exception)
+	*e = ev
+	return c.trap(e)
+}
+
 // trap takes a synchronous exception (or interrupt) to EL2, runs the host
 // hypervisor's vector, and returns to the guest context the host scheduled.
 // For read-style traps the handler's return value is the instruction's
@@ -391,13 +452,10 @@ func (c *CPU) trap(e *Exception) uint64 {
 	c.cycles += c.Cost.TrapEnter
 	c.attribute(prevLevel)
 	if c.Trace != nil {
-		c.Trace.Trap(trace.Event{
-			Reason:    reasonFor(e),
-			Detail:    detailFor(e),
-			FromLevel: int(c.level),
-			ToLevel:   0,
-			Cycle:     c.cycles,
-		})
+		ev := traceEvent(e)
+		ev.FromLevel = int(c.level)
+		ev.Cycle = c.cycles
+		c.Trace.Trap(ev)
 	}
 	if c.Vector == nil {
 		panic(fmt.Sprintf("arm: trap %s with no EL2 vector installed", e.EC))
@@ -498,7 +556,7 @@ func (c *CPU) guestAccess(ipa mem.Addr, size int, write bool, wval uint64) (uint
 		var ok bool
 		pa, ok = c.S2.Translate(c, ipa, write)
 		if !ok {
-			v := c.trap(&Exception{EC: ECDAbtLow, FaultIPA: ipa, Write: write, Val: wval, Size: size})
+			v := c.trapE(Exception{EC: ECDAbtLow, FaultIPA: ipa, Write: write, Val: wval, Size: size})
 			return v, true
 		}
 	}
@@ -549,49 +607,4 @@ func (c *CPU) PhysRead64(pa mem.Addr) uint64 {
 func (c *CPU) PhysWrite64(pa mem.Addr, v uint64) {
 	c.cycles += c.Cost.Mem
 	c.Mem.MustWrite64(pa, v)
-}
-
-func reasonFor(e *Exception) trace.Reason {
-	switch e.EC {
-	case ECSysReg:
-		return trace.ReasonSysReg
-	case ECERet:
-		return trace.ReasonERet
-	case ECHVC64:
-		return trace.ReasonHVC
-	case ECSMC64:
-		return trace.ReasonSMC
-	case ECDAbtLow, ECIAbtLow:
-		return trace.ReasonStage2Fault
-	case ECVirtIRQ:
-		return trace.ReasonIRQ
-	case ECWFx:
-		return trace.ReasonWFx
-	default:
-		return trace.ReasonNone
-	}
-}
-
-func detailFor(e *Exception) string {
-	switch e.EC {
-	case ECSysReg:
-		if e.Write {
-			return "msr " + e.Reg.String()
-		}
-		return "mrs " + e.Reg.String()
-	case ECERet:
-		return "eret"
-	case ECHVC64:
-		return fmt.Sprintf("hvc #%d", e.Imm)
-	case ECDAbtLow:
-		return fmt.Sprintf("s2-fault %#x", uint64(e.FaultIPA))
-	case ECVirtIRQ:
-		return fmt.Sprintf("irq %d", e.IRQ)
-	case ECWFx:
-		return "wfi"
-	case ECSMC64:
-		return "smc"
-	default:
-		return e.EC.String()
-	}
 }

@@ -295,7 +295,7 @@ func TestTraceRecordsLevelAndDetail(t *testing.T) {
 	if len(evs) != 1 {
 		t.Fatalf("events = %+v", evs)
 	}
-	if evs[0].FromLevel != 2 || evs[0].Detail != "msr VTTBR_EL2" {
+	if evs[0].FromLevel != 2 || evs[0].Detail() != "msr VTTBR_EL2" {
 		t.Fatalf("event = %+v", evs[0])
 	}
 }

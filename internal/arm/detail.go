@@ -1,0 +1,96 @@
+package arm
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// The trace package counts typed keys; rendering the classic detail string
+// is deferred to this formatter, registered once at init. The dense-code
+// registrations tell the collector which (reason, EC) pairs are safe to
+// count in its flat array: every address-free trap kind the model emits.
+func init() {
+	trace.RegisterDetailFormatter(trace.ArchARM, eventDetail)
+	trace.RegisterDenseCode(trace.ReasonSysReg, trace.ArchARM, uint8(ECSysReg))
+	trace.RegisterDenseCode(trace.ReasonERet, trace.ArchARM, uint8(ECERet))
+	trace.RegisterDenseCode(trace.ReasonHVC, trace.ArchARM, uint8(ECHVC64))
+	trace.RegisterDenseCode(trace.ReasonSMC, trace.ArchARM, uint8(ECSMC64))
+	trace.RegisterDenseCode(trace.ReasonIRQ, trace.ArchARM, uint8(ECVirtIRQ))
+	trace.RegisterDenseCode(trace.ReasonWFx, trace.ArchARM, uint8(ECWFx))
+}
+
+// eventDetail renders the detail string for one traced ARM trap. Every
+// exception class the model defines has an explicit arm; an unknown class
+// is a model bug and panics rather than being silently counted under an
+// empty or generic detail.
+func eventDetail(ev trace.Event) string {
+	switch EC(ev.Code) {
+	case ECSysReg:
+		if ev.Write {
+			return "msr " + SysReg(ev.Aux).String()
+		}
+		return "mrs " + SysReg(ev.Aux).String()
+	case ECERet:
+		return "eret"
+	case ECHVC64:
+		return fmt.Sprintf("hvc #%d", ev.Aux)
+	case ECSMC64:
+		return "smc"
+	case ECDAbtLow:
+		return fmt.Sprintf("s2-fault %#x", ev.Addr)
+	case ECIAbtLow:
+		return ECIAbtLow.String()
+	case ECVirtIRQ:
+		return fmt.Sprintf("irq %d", ev.Aux)
+	case ECWFx:
+		return "wfi"
+	case ECUnknown, ECGranted, ECMMIORead:
+		return EC(ev.Code).String()
+	default:
+		panic(fmt.Sprintf("arm: trace event with unknown exception class %#x", ev.Code))
+	}
+}
+
+// traceEvent packs an exception into the typed trace event; no strings are
+// built here, so counting-mode collection stays allocation-free.
+func traceEvent(e *Exception) trace.Event {
+	ev := trace.Event{
+		Arch:   trace.ArchARM,
+		Reason: reasonFor(e),
+		Code:   uint8(e.EC),
+		Write:  e.Write,
+	}
+	switch e.EC {
+	case ECSysReg:
+		ev.Aux = uint16(e.Reg)
+	case ECHVC64, ECSMC64:
+		ev.Aux = e.Imm
+	case ECVirtIRQ:
+		ev.Aux = uint16(e.IRQ)
+	case ECDAbtLow, ECIAbtLow:
+		ev.Addr = uint64(e.FaultIPA)
+	}
+	return ev
+}
+
+func reasonFor(e *Exception) trace.Reason {
+	switch e.EC {
+	case ECSysReg:
+		return trace.ReasonSysReg
+	case ECERet:
+		return trace.ReasonERet
+	case ECHVC64:
+		return trace.ReasonHVC
+	case ECSMC64:
+		return trace.ReasonSMC
+	case ECDAbtLow, ECIAbtLow:
+		return trace.ReasonStage2Fault
+	case ECVirtIRQ:
+		return trace.ReasonIRQ
+	case ECWFx:
+		return trace.ReasonWFx
+	default:
+		return trace.ReasonNone
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/nevesim/neve/internal/platform"
+)
+
+// TestTypedKeyDetailEquivalence proves the typed-key counters aggregate
+// exactly like the old per-event string counting: for a full Table 7 style
+// run of every configuration, the collector's Details() map (built from the
+// flat array and sparse tail) must equal a count of each recorded event's
+// lazily formatted detail string.
+func TestTypedKeyDetailEquivalence(t *testing.T) {
+	for _, id := range AllConfigs() {
+		id := id
+		t.Run(id.SpecName(), func(t *testing.T) {
+			spec := id.Spec()
+			spec.CPUs = 2
+			spec.RecordTrace = true
+			p := platform.MustBuild(spec)
+
+			// The micro harness Resets the collector mid-run, which clears
+			// keys and events together, so after each op both views hold
+			// the same trap population and must agree detail by detail.
+			var total uint64
+			for _, op := range MicroOps() {
+				RunMicroOn(p, op)
+				tr := p.Trace()
+				total += tr.Total()
+				fromKeys := tr.Details()
+				fromEvents := make(map[string]uint64)
+				for _, ev := range tr.Events() {
+					fromEvents[ev.Detail()]++
+				}
+				if len(fromKeys) != len(fromEvents) {
+					t.Fatalf("%s: detail sets differ: keys=%v events=%v", op, fromKeys, fromEvents)
+				}
+				for d, n := range fromEvents {
+					if fromKeys[d] != n {
+						t.Errorf("%s: detail %q: key count %d, event count %d", op, d, fromKeys[d], n)
+					}
+				}
+			}
+			if total == 0 && id.IsNested() {
+				t.Error("nested configuration took no traps; equivalence test is vacuous")
+			}
+		})
+	}
+}

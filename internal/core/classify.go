@@ -132,6 +132,10 @@ var (
 	rules   [arm.NumSysRegs]Rule
 	ordered []arm.SysReg
 	nextOff int
+	// resolved caches resolveRule for every register — the explicit rule,
+	// or the aliased register's rule for *_EL12/*_EL02 encodings — so the
+	// per-access lookup in Engine.Access and Page.Has is one array load.
+	resolved [arm.NumSysRegs]Rule
 )
 
 // RuleFor returns the NEVE policy for r. Registers without an explicit rule
@@ -254,5 +258,17 @@ func init() {
 		arm.CNTHV_CTL_EL2, arm.CNTHV_CVAL_EL2,
 	} {
 		addRule(r, ClassTimer, TreatTrap, arm.RegInvalid, false)
+	}
+
+	// Precompute the alias-followed rule for every register: the table is
+	// immutable after init, so the hot lookup never chases aliases again.
+	for _, r := range arm.AllRegs() {
+		rule := rules[r]
+		if rule.Reg == arm.RegInvalid {
+			if a := arm.Info(r).Alias; a != arm.RegInvalid {
+				rule = rules[a]
+			}
+		}
+		resolved[r] = rule
 	}
 }

@@ -59,16 +59,10 @@ func (p Page) Has(r arm.SysReg) bool { return resolveRule(r).VNCROffset >= 0 }
 
 // resolveRule returns the NEVE rule for r, following *_EL12/*_EL02 alias
 // encodings to their underlying register: a VHE guest hypervisor's
-// SCTLR_EL12 access is a VM-system-register access to SCTLR_EL1.
-func resolveRule(r arm.SysReg) Rule {
-	rule := rules[r]
-	if rule.Reg == arm.RegInvalid {
-		if a := arm.Info(r).Alias; a != arm.RegInvalid {
-			return rules[a]
-		}
-	}
-	return rule
-}
+// SCTLR_EL12 access is a VM-system-register access to SCTLR_EL1. The
+// alias chase is precomputed at init, so this is a single array load on
+// the per-access hot path.
+func resolveRule(r arm.SysReg) Rule { return resolved[r] }
 
 // ResolvedRule is the exported form of resolveRule for tests and tools.
 func ResolvedRule(r arm.SysReg) Rule { return resolveRule(r) }

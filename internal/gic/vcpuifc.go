@@ -18,7 +18,20 @@ type VCPUIfc struct {
 	Dist *Dist
 }
 
-var _ arm.SysRegDevice = (*VCPUIfc)(nil)
+var (
+	_ arm.SysRegDevice  = (*VCPUIfc)(nil)
+	_ arm.SysRegClaimer = (*VCPUIfc)(nil)
+)
+
+// SysRegClaims implements arm.SysRegClaimer: the ICC_* registers the
+// virtual CPU interface intercepts (EL1 gating stays in the handlers).
+func (g *VCPUIfc) SysRegClaims() []arm.SysReg {
+	return []arm.SysReg{
+		arm.ICC_IAR1_EL1, arm.ICC_EOIR1_EL1, arm.ICC_DIR_EL1,
+		arm.ICC_PMR_EL1, arm.ICC_BPR1_EL1, arm.ICC_CTLR_EL1,
+		arm.ICC_IGRPEN1_EL1,
+	}
+}
 
 // SysRegRead implements arm.SysRegDevice.
 func (g *VCPUIfc) SysRegRead(c *arm.CPU, r arm.SysReg) (uint64, bool) {

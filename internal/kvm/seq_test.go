@@ -134,8 +134,8 @@ func TestNEVEResidualTrapsAreWrites(t *testing.T) {
 		g.Hypercall()
 	})
 	for _, ev := range s.M.Trace.Events() {
-		if ev.Reason == trace.ReasonSysReg && len(ev.Detail) > 3 && ev.Detail[:3] == "mrs" {
-			t.Errorf("NEVE residual read trap: %s", ev.Detail)
+		if ev.Reason == trace.ReasonSysReg && !ev.Write {
+			t.Errorf("NEVE residual read trap: %s", ev.Detail())
 		}
 	}
 }

@@ -36,7 +36,23 @@ func New(d *gic.Dist) *Timer {
 	return &Timer{Dist: d, firedAt: make(map[arm.SysReg]uint64)}
 }
 
-var _ arm.SysRegDevice = (*Timer)(nil)
+var (
+	_ arm.SysRegDevice  = (*Timer)(nil)
+	_ arm.SysRegClaimer = (*Timer)(nil)
+)
+
+// SysRegClaims implements arm.SysRegClaimer: the registers the timer block
+// intercepts, so the CPU routes only those accesses here.
+func (t *Timer) SysRegClaims() []arm.SysReg {
+	return []arm.SysReg{
+		arm.CNTPCT_EL0, arm.CNTVCT_EL0,
+		arm.CNTP_CTL_EL0, arm.CNTP_CVAL_EL0,
+		arm.CNTV_CTL_EL0, arm.CNTV_CVAL_EL0,
+		arm.CNTHP_CTL_EL2, arm.CNTHP_CVAL_EL2,
+		arm.CNTHV_CTL_EL2, arm.CNTHV_CVAL_EL2,
+		arm.CNTVOFF_EL2, arm.CNTHCTL_EL2,
+	}
+}
 
 // SysRegRead implements arm.SysRegDevice: counter reads compute from the
 // cycle clock; everything else falls through to register storage.

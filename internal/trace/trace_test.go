@@ -5,18 +5,34 @@ import (
 	"testing"
 )
 
+// The CPU models are not linked into this test binary (they import trace),
+// so events render through the generic fallback formatter and the tests
+// register their own dense counting slot.
+const (
+	testECSysReg = 0x18
+	testECHVC    = 0x16
+)
+
+func init() {
+	RegisterDenseCode(ReasonSysReg, ArchARM, testECSysReg)
+}
+
+func sysregEvent(aux uint16, write bool) Event {
+	return Event{Reason: ReasonSysReg, Arch: ArchARM, Code: testECSysReg, Write: write, Aux: aux}
+}
+
 func TestCountsByReasonAndDetail(t *testing.T) {
 	c := NewCollector(false)
-	c.Trap(Event{Reason: ReasonSysReg, Detail: "msr HCR_EL2"})
-	c.Trap(Event{Reason: ReasonSysReg, Detail: "msr HCR_EL2"})
-	c.Trap(Event{Reason: ReasonERet, Detail: "eret"})
+	c.Trap(sysregEvent(7, true))
+	c.Trap(sysregEvent(7, true))
+	c.Trap(Event{Reason: ReasonERet, Arch: ArchARM, Code: 0x1a})
 	if got := c.Total(); got != 3 {
 		t.Fatalf("Total = %d, want 3", got)
 	}
 	if got := c.Count(ReasonSysReg); got != 2 {
 		t.Fatalf("Count(sysreg) = %d, want 2", got)
 	}
-	if got := c.DetailCount("msr HCR_EL2"); got != 2 {
+	if got := c.DetailCount(sysregEvent(7, true).Detail()); got != 2 {
 		t.Fatalf("DetailCount = %d, want 2", got)
 	}
 	if got := c.Events(); got != nil {
@@ -24,9 +40,69 @@ func TestCountsByReasonAndDetail(t *testing.T) {
 	}
 }
 
+func TestKeyRoundTrip(t *testing.T) {
+	evs := []Event{
+		sysregEvent(255, true),
+		sysregEvent(0, false),
+		{Reason: ReasonHVC, Arch: ArchARM, Code: testECHVC, Aux: 3},
+		{Reason: ReasonVMRead, Arch: ArchX86, Code: 1, Aux: 40},
+		{Reason: ReasonEPTViolation, Arch: ArchX86, Code: 5, Write: true, Aux: 0xffff},
+	}
+	for _, ev := range evs {
+		got := ev.Key().Event()
+		if got != ev {
+			t.Errorf("Key round trip: %+v -> %+v", ev, got)
+		}
+	}
+}
+
+func TestKeyCountDenseAndSparse(t *testing.T) {
+	c := NewCollector(false)
+	// Dense: registered (reason, arch, code) with small Aux.
+	c.Trap(sysregEvent(9, false))
+	c.Trap(sysregEvent(9, false))
+	c.Trap(sysregEvent(9, true)) // write bit separates slots
+	if got := c.KeyCount(sysregEvent(9, false).Key()); got != 2 {
+		t.Fatalf("dense KeyCount = %d, want 2", got)
+	}
+	if got := c.KeyCount(sysregEvent(9, true).Key()); got != 1 {
+		t.Fatalf("dense write KeyCount = %d, want 1", got)
+	}
+	// Sparse: no dense registration for HVC in this binary.
+	hvc := Event{Reason: ReasonHVC, Arch: ArchARM, Code: testECHVC, Aux: 1}
+	c.Trap(hvc)
+	if got := c.KeyCount(hvc.Key()); got != 1 {
+		t.Fatalf("sparse KeyCount = %d, want 1", got)
+	}
+	// Sparse: dense reason with an operand past the flat-array range.
+	big := sysregEvent(300, true)
+	c.Trap(big)
+	if got := c.KeyCount(big.Key()); got != 1 {
+		t.Fatalf("sparse wide-aux KeyCount = %d, want 1", got)
+	}
+	if got := c.Count(ReasonSysReg); got != 4 {
+		t.Fatalf("Count(sysreg) = %d, want 4", got)
+	}
+}
+
+func TestAddressfulEventsStaySeparate(t *testing.T) {
+	c := NewCollector(false)
+	f1 := Event{Reason: ReasonStage2Fault, Arch: ArchARM, Code: 0x24, Addr: 0x9000}
+	f2 := Event{Reason: ReasonStage2Fault, Arch: ArchARM, Code: 0x24, Addr: 0xa000}
+	c.Trap(f1)
+	c.Trap(f1)
+	c.Trap(f2)
+	if got := c.DetailCount(f1.Detail()); got != 2 {
+		t.Fatalf("DetailCount(addr 0x9000) = %d, want 2", got)
+	}
+	if got := c.DetailCount(f2.Detail()); got != 1 {
+		t.Fatalf("DetailCount(addr 0xa000) = %d, want 1", got)
+	}
+}
+
 func TestRecordingRetainsEvents(t *testing.T) {
 	c := NewCollector(true)
-	c.Trap(Event{Reason: ReasonHVC, Detail: "hvc #0", FromLevel: 2, Cycle: 100})
+	c.Trap(Event{Reason: ReasonHVC, Arch: ArchARM, Code: testECHVC, FromLevel: 2, Cycle: 100})
 	evs := c.Events()
 	if len(evs) != 1 || evs[0].FromLevel != 2 || evs[0].Cycle != 100 {
 		t.Fatalf("Events = %+v", evs)
@@ -56,18 +132,36 @@ func TestNilCollectorSafe(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	c := NewCollector(true)
-	c.Trap(Event{Reason: ReasonHVC, Detail: "hvc #1"})
+	ev := Event{Reason: ReasonHVC, Arch: ArchARM, Code: testECHVC, Aux: 1}
+	c.Trap(ev)
+	c.Trap(sysregEvent(3, true))
 	c.Reset()
-	if c.Total() != 0 || len(c.Events()) != 0 || c.DetailCount("hvc #1") != 0 {
+	if c.Total() != 0 || len(c.Events()) != 0 || c.DetailCount(ev.Detail()) != 0 {
 		t.Fatal("Reset did not clear state")
+	}
+	if c.KeyCount(sysregEvent(3, true).Key()) != 0 {
+		t.Fatal("Reset did not clear dense counters")
+	}
+}
+
+func TestResetReusesEventStorage(t *testing.T) {
+	c := NewCollector(true)
+	for i := 0; i < 64; i++ {
+		c.Trap(sysregEvent(uint16(i), false))
+	}
+	before := cap(c.events)
+	c.Reset()
+	if cap(c.events) != before {
+		t.Fatalf("Reset reallocated events: cap %d -> %d", before, cap(c.events))
 	}
 }
 
 func TestSummaryMentionsReasonsAndDetails(t *testing.T) {
 	c := NewCollector(false)
-	c.Trap(Event{Reason: ReasonSysReg, Detail: "msr VTTBR_EL2"})
+	ev := sysregEvent(11, true)
+	c.Trap(ev)
 	s := c.Summary()
-	if !strings.Contains(s, "sysreg") || !strings.Contains(s, "msr VTTBR_EL2") {
+	if !strings.Contains(s, "sysreg") || !strings.Contains(s, ev.Detail()) {
 		t.Fatalf("Summary missing content:\n%s", s)
 	}
 }
@@ -78,5 +172,43 @@ func TestReasonString(t *testing.T) {
 	}
 	if got := Reason(999).String(); !strings.Contains(got, "999") {
 		t.Fatalf("out-of-range Reason = %q", got)
+	}
+}
+
+func TestTrapAllocsDense(t *testing.T) {
+	c := NewCollector(false)
+	ev := sysregEvent(7, true)
+	c.Trap(ev) // warm up
+	allocs := testing.AllocsPerRun(1000, func() { c.Trap(ev) })
+	if allocs != 0 {
+		t.Fatalf("dense Trap allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTrapAllocsSparse(t *testing.T) {
+	c := NewCollector(false)
+	ev := Event{Reason: ReasonStage2Fault, Arch: ArchARM, Code: 0x24, Addr: 0x9000}
+	c.Trap(ev) // warm up: the map entry exists after the first hit
+	allocs := testing.AllocsPerRun(1000, func() { c.Trap(ev) })
+	if allocs != 0 {
+		t.Fatalf("sparse Trap allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkCollectorTrapDense(b *testing.B) {
+	c := NewCollector(false)
+	ev := sysregEvent(7, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Trap(ev)
+	}
+}
+
+func BenchmarkCollectorTrapSparse(b *testing.B) {
+	c := NewCollector(false)
+	ev := Event{Reason: ReasonStage2Fault, Arch: ArchARM, Code: 0x24, Addr: 0x9000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Trap(ev)
 	}
 }

@@ -98,6 +98,10 @@ type Exit struct {
 	Vector int // external interrupt vector
 }
 
+// maxExitDepth is the number of pooled Exit slots per core; deeper
+// re-entrant exits fall back to heap allocation.
+const maxExitDepth = 16
+
 // Handler handles VM exits in root mode: the host hypervisor.
 type Handler interface {
 	HandleExit(c *CPU, e *Exit) uint64
@@ -140,6 +144,11 @@ type CPU struct {
 	inIRQ      bool
 
 	cycles uint64
+
+	// exitPool backs the Exit records passed to root-mode handlers: one
+	// slot per re-entrant exit depth, so the hot path never allocates.
+	exitPool  [maxExitDepth]Exit
+	exitDepth int
 
 	// levelCycles attributes elapsed cycles to the virtualization level
 	// that spent them (0 = host hypervisor); lastAttributed marks the
@@ -222,7 +231,7 @@ func (c *CPU) SetShadow(enabled bool, shadow VMCS, bitmap map[Field]bool) {
 // VMPtrLoad sets the current-VMCS pointer. From non-root mode it exits.
 func (c *CPU) VMPtrLoad(v VMCS) {
 	if c.nonRoot {
-		c.exit(&Exit{Reason: ExitVMPtrLd, Val: uint64(v.Base)})
+		c.exitE(Exit{Reason: ExitVMPtrLd, Val: uint64(v.Base)})
 		return
 	}
 	c.cycles += c.Cost.VMInsn
@@ -240,7 +249,7 @@ func (c *CPU) VMRead(f Field) uint64 {
 		c.cycles += c.Cost.VMInsn
 		return c.shadowVMCS.Read(c.Mem, f)
 	}
-	return c.exit(&Exit{Reason: ExitVMRead, Field: f})
+	return c.exitE(Exit{Reason: ExitVMRead, Field: f})
 }
 
 // VMWrite writes a VMCS field; exit rules as VMRead.
@@ -255,7 +264,7 @@ func (c *CPU) VMWrite(f Field, v uint64) {
 		c.shadowVMCS.Write(c.Mem, f, v)
 		return
 	}
-	c.exit(&Exit{Reason: ExitVMWrite, Field: f, Val: v, Write: true})
+	c.exitE(Exit{Reason: ExitVMWrite, Field: f, Val: v, Write: true})
 }
 
 // VMCall is the guest-to-hypervisor hypercall.
@@ -263,7 +272,7 @@ func (c *CPU) VMCall(arg uint64) uint64 {
 	if !c.nonRoot {
 		panic("x86: VMCall in root mode")
 	}
-	return c.exit(&Exit{Reason: ExitVMCall, Val: arg})
+	return c.exitE(Exit{Reason: ExitVMCall, Val: arg})
 }
 
 // VMResume is a guest hypervisor resuming its VM; it always exits to the
@@ -272,7 +281,7 @@ func (c *CPU) VMResume() {
 	if !c.nonRoot {
 		panic("x86: host VMResume is modeled by RunGuest")
 	}
-	c.exit(&Exit{Reason: ExitVMResume})
+	c.exitE(Exit{Reason: ExitVMResume})
 }
 
 // WrMSR models an intercepted MSR write (timer deadline etc.).
@@ -281,7 +290,7 @@ func (c *CPU) WrMSR(msr uint32, v uint64) {
 		c.cycles += c.Cost.VMInsn
 		return
 	}
-	c.exit(&Exit{Reason: ExitMSRWrite, Field: Field(msr), Val: v, Write: true})
+	c.exitE(Exit{Reason: ExitMSRWrite, Field: Field(msr), Val: v, Write: true})
 }
 
 // MMIORead models a device read; device windows are unmapped in the EPT
@@ -291,7 +300,7 @@ func (c *CPU) MMIORead(addr mem.Addr) uint64 {
 		c.cycles += c.Cost.Mem
 		return c.Mem.MustRead64(addr)
 	}
-	return c.exit(&Exit{Reason: ExitEPTViolation, Addr: addr})
+	return c.exitE(Exit{Reason: ExitEPTViolation, Addr: addr})
 }
 
 // EPT resolves guest physical addresses for non-root accesses; the
@@ -312,7 +321,7 @@ func (c *CPU) GuestRead(gpa mem.Addr, size int) uint64 {
 		c.cycles += c.Cost.Mem
 		return c.Mem.MustRead64(pa)
 	}
-	return c.exit(&Exit{Reason: ExitEPTViolation, Addr: gpa})
+	return c.exitE(Exit{Reason: ExitEPTViolation, Addr: gpa})
 }
 
 // GuestWrite writes guest physical memory through the EPT.
@@ -328,7 +337,7 @@ func (c *CPU) GuestWrite(gpa mem.Addr, size int, v uint64) {
 		c.Mem.MustWrite64(pa, v)
 		return
 	}
-	c.exit(&Exit{Reason: ExitEPTViolation, Addr: gpa, Write: true, Val: v})
+	c.exitE(Exit{Reason: ExitEPTViolation, Addr: gpa, Write: true, Val: v})
 }
 
 // APICWriteICR sends an IPI via the local APIC interrupt command register;
@@ -337,7 +346,7 @@ func (c *CPU) APICWriteICR(target, vector int) {
 	if !c.nonRoot {
 		panic("x86: host IPIs are sent through the machine model")
 	}
-	c.exit(&Exit{Reason: ExitAPICWrite, Vector: vector, Val: uint64(target)})
+	c.exitE(Exit{Reason: ExitAPICWrite, Vector: vector, Val: uint64(target)})
 }
 
 // EOI completes the in-service interrupt through the virtualized APIC: no
@@ -364,7 +373,7 @@ func (c *CPU) Tick(n uint64) {
 	for len(c.pendingIRQ) > 0 && c.nonRoot {
 		v := c.pendingIRQ[0]
 		c.pendingIRQ = c.pendingIRQ[1:]
-		c.exit(&Exit{Reason: ExitExternalInt, Vector: v})
+		c.exitE(Exit{Reason: ExitExternalInt, Vector: v})
 	}
 	c.deliverPosted()
 }
@@ -388,12 +397,10 @@ func (c *CPU) deliverPosted() {
 func (c *CPU) exit(e *Exit) uint64 {
 	c.cycles += c.Cost.VMExitHW
 	if c.Trace != nil {
-		c.Trace.Trap(trace.Event{
-			Reason:    reasonFor(e),
-			Detail:    detailFor(e),
-			FromLevel: int(c.level),
-			Cycle:     c.cycles,
-		})
+		ev := traceEvent(e)
+		ev.FromLevel = int(c.level)
+		ev.Cycle = c.cycles
+		c.Trace.Trap(ev)
 	}
 	if c.Vector == nil {
 		panic("x86: VM exit with no root handler")
@@ -408,6 +415,24 @@ func (c *CPU) exit(e *Exit) uint64 {
 	c.level = c.guestLevel
 	c.deliverPosted()
 	return v
+}
+
+// exitE stages ev into a per-depth pool slot and takes the exit. Passing
+// the Exit by value keeps the literal out of the heap: re-entrant exits
+// (an external interrupt exiting inside a hypercall handler) each get
+// their own slot, and depths beyond the pool fall back to an allocation.
+func (c *CPU) exitE(ev Exit) uint64 {
+	if c.exitDepth < len(c.exitPool) {
+		e := &c.exitPool[c.exitDepth]
+		*e = ev
+		c.exitDepth++
+		v := c.exit(e)
+		c.exitDepth--
+		return v
+	}
+	e := new(Exit)
+	*e = ev
+	return c.exit(e)
 }
 
 // RunGuest enters non-root mode and runs fn as guest software at the given
@@ -425,44 +450,4 @@ func (c *CPU) RunGuest(level int, fn func()) {
 	c.nonRoot = false
 	c.attribute(c.level)
 	c.level = 0
-}
-
-func reasonFor(e *Exit) trace.Reason {
-	switch e.Reason {
-	case ExitVMCall:
-		return trace.ReasonVMCall
-	case ExitVMRead:
-		return trace.ReasonVMRead
-	case ExitVMWrite:
-		return trace.ReasonVMWrite
-	case ExitVMPtrLd:
-		return trace.ReasonVMPtrLd
-	case ExitVMResume:
-		return trace.ReasonVMResume
-	case ExitEPTViolation:
-		return trace.ReasonEPTViolation
-	case ExitExternalInt:
-		return trace.ReasonExtInt
-	case ExitMSRWrite:
-		return trace.ReasonMSRAccess
-	case ExitAPICWrite:
-		return trace.ReasonMMIO
-	default:
-		return trace.ReasonNone
-	}
-}
-
-func detailFor(e *Exit) string {
-	switch e.Reason {
-	case ExitVMRead:
-		return "vmread " + e.Field.String()
-	case ExitVMWrite:
-		return "vmwrite " + e.Field.String()
-	case ExitEPTViolation:
-		return fmt.Sprintf("ept-violation %#x", uint64(e.Addr))
-	case ExitExternalInt:
-		return fmt.Sprintf("ext-int %d", e.Vector)
-	default:
-		return e.Reason.String()
-	}
 }

@@ -1,0 +1,87 @@
+package x86
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// The trace package counts typed keys; this formatter renders the classic
+// detail strings lazily, and the dense-code registrations cover every
+// address-free exit reason so counting stays in the collector's flat array.
+func init() {
+	trace.RegisterDetailFormatter(trace.ArchX86, eventDetail)
+	trace.RegisterDenseCode(trace.ReasonVMCall, trace.ArchX86, uint8(ExitVMCall))
+	trace.RegisterDenseCode(trace.ReasonVMRead, trace.ArchX86, uint8(ExitVMRead))
+	trace.RegisterDenseCode(trace.ReasonVMWrite, trace.ArchX86, uint8(ExitVMWrite))
+	trace.RegisterDenseCode(trace.ReasonVMPtrLd, trace.ArchX86, uint8(ExitVMPtrLd))
+	trace.RegisterDenseCode(trace.ReasonVMResume, trace.ArchX86, uint8(ExitVMResume))
+	trace.RegisterDenseCode(trace.ReasonExtInt, trace.ArchX86, uint8(ExitExternalInt))
+	trace.RegisterDenseCode(trace.ReasonMSRAccess, trace.ArchX86, uint8(ExitMSRWrite))
+	trace.RegisterDenseCode(trace.ReasonMMIO, trace.ArchX86, uint8(ExitAPICWrite))
+}
+
+// eventDetail renders the detail string for one traced VM exit. Every exit
+// reason the model defines has an explicit arm; an unknown reason is a
+// model bug and panics rather than being counted under a generic detail.
+func eventDetail(ev trace.Event) string {
+	switch ExitReasonCode(ev.Code) {
+	case ExitVMRead:
+		return "vmread " + Field(ev.Aux).String()
+	case ExitVMWrite:
+		return "vmwrite " + Field(ev.Aux).String()
+	case ExitEPTViolation:
+		return fmt.Sprintf("ept-violation %#x", ev.Addr)
+	case ExitExternalInt:
+		return fmt.Sprintf("ext-int %d", ev.Aux)
+	case ExitVMCall, ExitVMPtrLd, ExitVMResume, ExitMSRWrite, ExitAPICWrite, ExitHLT:
+		return ExitReasonCode(ev.Code).String()
+	default:
+		panic(fmt.Sprintf("x86: trace event with unknown exit reason %d", ev.Code))
+	}
+}
+
+// traceEvent packs a VM exit into the typed trace event; no strings are
+// built here, so counting-mode collection stays allocation-free.
+func traceEvent(e *Exit) trace.Event {
+	ev := trace.Event{
+		Arch:   trace.ArchX86,
+		Reason: reasonFor(e),
+		Code:   uint8(e.Reason),
+		Write:  e.Write,
+	}
+	switch e.Reason {
+	case ExitVMRead, ExitVMWrite, ExitMSRWrite:
+		ev.Aux = uint16(e.Field)
+	case ExitExternalInt, ExitAPICWrite:
+		ev.Aux = uint16(e.Vector)
+	case ExitEPTViolation:
+		ev.Addr = uint64(e.Addr)
+	}
+	return ev
+}
+
+func reasonFor(e *Exit) trace.Reason {
+	switch e.Reason {
+	case ExitVMCall:
+		return trace.ReasonVMCall
+	case ExitVMRead:
+		return trace.ReasonVMRead
+	case ExitVMWrite:
+		return trace.ReasonVMWrite
+	case ExitVMPtrLd:
+		return trace.ReasonVMPtrLd
+	case ExitVMResume:
+		return trace.ReasonVMResume
+	case ExitEPTViolation:
+		return trace.ReasonEPTViolation
+	case ExitExternalInt:
+		return trace.ReasonExtInt
+	case ExitMSRWrite:
+		return trace.ReasonMSRAccess
+	case ExitAPICWrite:
+		return trace.ReasonMMIO
+	default:
+		return trace.ReasonNone
+	}
+}
