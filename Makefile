@@ -7,7 +7,10 @@
 GO ?= go
 EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet fmt-check examples-smoke ci bench bench-smoke bench-json profile
+.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json profile
+
+FUZZ_TARGETS := FuzzDifferentialNVvsNEVE FuzzFaultPlanRecovery FuzzParsePlan
+FUZZTIME ?= 10s
 
 all: build test
 
@@ -37,7 +40,17 @@ examples-smoke:
 		$(GO) run ./examples/$$ex >/dev/null || exit 1; \
 	done
 
-ci: vet fmt-check race examples-smoke bench-smoke bench-json
+# Brief native-fuzzing pass over the differential and recovery targets
+# (internal/fault/fuzz_test.go); seed corpora live under
+# internal/fault/testdata/fuzz/. Any crasher or NV/NEVE divergence found
+# within FUZZTIME fails the build.
+fuzz-smoke:
+	@for target in $(FUZZ_TARGETS); do \
+		echo "fuzz $$target"; \
+		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) ./internal/fault/ || exit 1; \
+	done
+
+ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json
 
 # Go benchmarks for the simulator's own speed (not the paper's numbers):
 # memory/TLB fast paths, the trap hot path, the trace collector, and the

@@ -13,7 +13,10 @@
 //	nevesim recursive  Section 6.2: an L3 hypercall, ARMv8.3 vs NEVE
 //	nevesim bench      time the suites; -json writes BENCH_<date>.json,
 //	                   -cpuprofile/-memprofile capture pprof profiles
-//	nevesim run        microbenchmark one configuration: -config <name|axes>
+//	nevesim run        microbenchmark one configuration: -config <name|axes>;
+//	                   -faults <plan> injects seeded faults, -max-traps/
+//	                   -max-steps attach watchdog budgets (non-zero exit
+//	                   with a SimError diagnostic on livelock)
 //	nevesim all        everything above except bench and run
 //
 // Experiment cells run across a worker pool (every cell builds its own
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +34,7 @@ import (
 
 	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/bench"
+	"github.com/nevesim/neve/internal/fault"
 	"github.com/nevesim/neve/internal/mem"
 	"github.com/nevesim/neve/internal/platform"
 	"github.com/nevesim/neve/internal/trace"
@@ -152,11 +157,18 @@ func benchReport(h bench.Harness, args []string) {
 
 // runConfig microbenchmarks one platform spec — a registry name or an
 // ad-hoc axis list — including combinations outside the paper's matrix
-// (e.g. -config gicv2,hostvhe,nesting=2,neve).
+// (e.g. -config gicv2,hostvhe,nesting=2,neve). -faults attaches a seeded
+// fault-injection plan, and -max-traps/-max-steps attach watchdog budgets:
+// a run that trap-storms or livelocks exits non-zero with a SimError
+// diagnostic instead of hanging (see EXPERIMENTS.md, "Fault injection &
+// fuzzing").
 func runConfig(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	config := fs.String("config", "", "registry name or axis=value list (see -list)")
 	list := fs.Bool("list", false, "list the registry spec names and exit")
+	faults := fs.String("faults", "", "fault-injection plan, e.g. seed=42,every=100,count=5,kinds=irq+vncr")
+	maxTraps := fs.Uint64("max-traps", 0, "abort after this many traps (0 = unlimited)")
+	maxSteps := fs.Uint64("max-steps", 0, "abort after this many guest instructions (0 = unlimited)")
 	fs.Parse(args)
 	if *list || *config == "" {
 		fmt.Println("registry specs:")
@@ -175,10 +187,24 @@ func runConfig(args []string) {
 		fmt.Fprintln(os.Stderr, "nevesim run:", err)
 		os.Exit(1)
 	}
+	spec.Faults, err = fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nevesim run:", err)
+		os.Exit(1)
+	}
+	spec.MaxTraps = *maxTraps
+	spec.MaxSteps = *maxSteps
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nevesim run:", err)
+		os.Exit(1)
+	}
 	if spec.Name != "" {
 		fmt.Printf("config %s (%s)\n", spec.Name, spec.Axes())
 	} else {
 		fmt.Printf("config %s\n", spec.Axes())
+	}
+	if spec.Faults.Active() {
+		fmt.Printf("faults %s\n", spec.Faults)
 	}
 	for _, op := range bench.MicroOps() {
 		p, err := platform.Build(spec)
@@ -186,7 +212,17 @@ func runConfig(args []string) {
 			fmt.Fprintln(os.Stderr, "nevesim run:", err)
 			os.Exit(1)
 		}
-		cycles, traps := bench.RunMicroOn(p, op)
+		var cycles, traps uint64
+		runErr := p.Protect(func() { cycles, traps = bench.RunMicroOn(p, op) })
+		if runErr != nil {
+			var se *fault.SimError
+			if errors.As(runErr, &se) {
+				fmt.Fprintf(os.Stderr, "nevesim run: %s died:\n%s", op, se.Diagnostic())
+			} else {
+				fmt.Fprintln(os.Stderr, "nevesim run:", runErr)
+			}
+			os.Exit(1)
+		}
 		fmt.Printf("  %-12s %12s cycles %6d traps", op, fmtN(cycles), traps)
 		if lv := p.LevelCycles(0); len(lv) > 0 {
 			fmt.Printf("   per-level")
@@ -197,6 +233,11 @@ func runConfig(args []string) {
 			}
 		}
 		fmt.Println()
+		if inj := p.Injector(); inj != nil {
+			for _, line := range inj.Log() {
+				fmt.Printf("      injected %s\n", line)
+			}
+		}
 	}
 }
 

@@ -60,6 +60,17 @@ type CPU struct {
 	// VIRQ is the IRQ vector of the guest currently scheduled at vEL1.
 	VIRQ VIRQSink
 
+	// HookTrap, when non-nil, observes every trap after it is recorded
+	// and before the EL2 vector runs; the fault layer hangs its injector
+	// and trap-storm watchdog here. Nil in all normal runs, so the hot
+	// path pays only a nil check. A hook may panic to abort the run (the
+	// watchdog does); the platform's recovery boundary converts that into
+	// a typed error.
+	HookTrap func(c *CPU, e *Exception)
+	// HookTick, when non-nil, observes every Tick before interrupt
+	// delivery; the step-budget watchdog hangs here.
+	HookTick func(c *CPU, n uint64)
+
 	el         EL
 	level      VLevel
 	guestLevel VLevel
@@ -394,6 +405,9 @@ func (c *CPU) WFI() {
 // are delivered to the guest here.
 func (c *CPU) Tick(n uint64) {
 	c.cycles += n * c.Cost.Insn
+	if c.HookTick != nil {
+		c.HookTick(c, n)
+	}
 	c.checkIRQ()
 	c.deliverVIRQ()
 }
@@ -456,6 +470,9 @@ func (c *CPU) trap(e *Exception) uint64 {
 		ev.FromLevel = int(c.level)
 		ev.Cycle = c.cycles
 		c.Trace.Trap(ev)
+	}
+	if c.HookTrap != nil {
+		c.HookTrap(c, e)
 	}
 	if c.Vector == nil {
 		panic(fmt.Sprintf("arm: trap %s with no EL2 vector installed", e.EC))

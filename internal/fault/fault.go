@@ -1,0 +1,223 @@
+// Package fault is the simulator's deterministic fault-injection and
+// recovery layer. It supplies three cooperating pieces, all off by
+// default so the paper's golden tables and figures are byte-identical
+// when no faults are requested:
+//
+//   - an Injector that perturbs a running stack at configurable trap
+//     counts — spurious interrupts, corrupted VNCR deferred-page slots,
+//     transient guest-page bit flips, device-register noise — replayable
+//     from a seed (Plan);
+//   - a Watchdog with trap and step budgets that detects livelock (a
+//     guest hypervisor re-faulting on the same register forever) and
+//     aborts with a diagnostic instead of hanging;
+//   - a typed SimError that the platform's recovery boundary produces
+//     from any internal panic, carrying the CPU, virtualization level,
+//     cycle count, faulting register when identifiable, and the last N
+//     trace events.
+//
+// The package sits below platform in the import graph: it knows the CPU
+// models (arm, trace) but not the stacks. Stack-specific perturbations
+// reach it through the Env interface, implemented by package platform.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the injectable perturbations.
+type Kind uint8
+
+const (
+	// SpuriousIRQ asserts an unexpected shared peripheral interrupt.
+	SpuriousIRQ Kind = iota
+	// VNCRCorrupt flips one bit in a random slot of a NEVE deferred
+	// access page (only applicable to NEVE stacks with attached pages).
+	VNCRCorrupt
+	// PageFlip flips one bit somewhere in the L1 VM's RAM — guest data,
+	// guest page tables, or the nested carve-out, whichever it lands on.
+	PageFlip
+	// DeviceNoise writes a random value to a random device register
+	// (GIC distributor window).
+	DeviceNoise
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	SpuriousIRQ: "irq",
+	VNCRCorrupt: "vncr",
+	PageFlip:    "flip",
+	DeviceNoise: "device",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AllKinds returns every injectable kind.
+func AllKinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Plan is a replayable fault-injection schedule: after every Every traps
+// observed on the stack, one perturbation drawn from Kinds is applied,
+// up to Count injections. The zero Plan is inactive.
+type Plan struct {
+	// Seed selects the deterministic perturbation stream; the same plan
+	// against the same workload replays the identical fault sequence.
+	Seed uint64
+	// Every is the trap period between injections; 0 disables injection.
+	Every uint64
+	// Count caps the number of injections (0 = unlimited).
+	Count int
+	// Kinds restricts the drawn perturbations; empty means all kinds.
+	Kinds []Kind
+}
+
+// Active reports whether the plan injects anything.
+func (p Plan) Active() bool { return p.Every > 0 }
+
+// Validate checks the plan for misconfiguration: knobs set on a schedule
+// that never fires, a negative count, or an out-of-range kind. The zero
+// Plan is valid (inactive).
+func (p Plan) Validate() error {
+	if !p.Active() {
+		if p.Seed != 0 || p.Count != 0 || len(p.Kinds) != 0 {
+			return fmt.Errorf("fault: plan sets seed/count/kinds but every=0, so it would never fire")
+		}
+		return nil
+	}
+	if p.Count < 0 {
+		return fmt.Errorf("fault: negative injection count %d", p.Count)
+	}
+	for _, k := range p.Kinds {
+		if k >= numKinds {
+			return fmt.Errorf("fault: unknown fault kind %d", uint8(k))
+		}
+	}
+	return nil
+}
+
+// String renders the plan in the form ParsePlan accepts.
+func (p Plan) String() string {
+	if !p.Active() {
+		return "off"
+	}
+	parts := []string{
+		fmt.Sprintf("seed=%d", p.Seed),
+		fmt.Sprintf("every=%d", p.Every),
+	}
+	if p.Count > 0 {
+		parts = append(parts, fmt.Sprintf("count=%d", p.Count))
+	}
+	if len(p.Kinds) > 0 {
+		names := make([]string, len(p.Kinds))
+		for i, k := range p.Kinds {
+			names[i] = k.String()
+		}
+		parts = append(parts, "kinds="+strings.Join(names, "+"))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses a comma-separated plan description, e.g.
+//
+//	seed=42,every=100,count=5,kinds=irq+vncr+flip+device
+//
+// "off" and "" parse to the inactive zero Plan. Unknown keys and kinds
+// are errors; every=0 with other keys set is an error (the plan would
+// silently never fire).
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return p, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(part), "=")
+		if seen[key] {
+			return Plan{}, fmt.Errorf("fault: duplicate plan key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "seed", "every", "count":
+			if !hasVal {
+				return Plan{}, fmt.Errorf("fault: plan key %q needs a value", key)
+			}
+			var n uint64
+			if _, err := fmt.Sscanf(val, "%d", &n); err != nil || fmt.Sprintf("%d", n) != val {
+				return Plan{}, fmt.Errorf("fault: bad %s value %q", key, val)
+			}
+			switch key {
+			case "seed":
+				p.Seed = n
+			case "every":
+				p.Every = n
+			case "count":
+				p.Count = int(n)
+			}
+		case "kinds":
+			if !hasVal {
+				return Plan{}, fmt.Errorf("fault: plan key %q needs a value", key)
+			}
+			for _, name := range strings.Split(val, "+") {
+				k, err := parseKind(name)
+				if err != nil {
+					return Plan{}, err
+				}
+				p.Kinds = append(p.Kinds, k)
+			}
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q (want seed/every/count/kinds)", key)
+		}
+	}
+	if !p.Active() {
+		return Plan{}, fmt.Errorf("fault: plan %q never fires (set every=N)", s)
+	}
+	return p, nil
+}
+
+func parseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), nil
+		}
+	}
+	known := append([]string(nil), kindNames[:]...)
+	sort.Strings(known)
+	return 0, fmt.Errorf("fault: unknown kind %q (want %s)", name, strings.Join(known, "/"))
+}
+
+// Rand is the injector's deterministic pseudo-random stream (splitmix64):
+// tiny, seedable, and stable across Go releases, which math/rand does not
+// guarantee for its global functions.
+type Rand struct{ state uint64 }
+
+// NewRand returns a stream seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value of the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("fault: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}

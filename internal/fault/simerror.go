@@ -1,0 +1,162 @@
+package fault
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// ErrorKind classifies how a protected run died.
+type ErrorKind uint8
+
+const (
+	// ErrPanic is an internal panic recovered at the platform boundary: a
+	// guest-triggered model bug, an injected fault the stack could not
+	// absorb, or a deliberate abort deep in the model.
+	ErrPanic ErrorKind = iota
+	// ErrTrapStorm is the watchdog's trap-budget abort (livelock).
+	ErrTrapStorm
+	// ErrStepBudget is the watchdog's step-budget abort.
+	ErrStepBudget
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrPanic:
+		return "panic"
+	case ErrTrapStorm:
+		return "trap-storm"
+	case ErrStepBudget:
+		return "step-budget"
+	default:
+		return fmt.Sprintf("errorkind(%d)", uint8(k))
+	}
+}
+
+// SimError is the typed failure of a protected simulation run. The
+// watchdog constructs one when a budget trips; the recovery boundary
+// wraps every other panic in one and annotates it with where the machine
+// was when it died.
+type SimError struct {
+	// Kind says how the run died.
+	Kind ErrorKind
+	// CPU and Level locate the failure: the core index and the
+	// virtualization level that was running (0 = host hypervisor).
+	CPU   int
+	Level int
+	// Cycle is the core's cycle counter at the failure — the simulator's
+	// program counter equivalent.
+	Cycle uint64
+	// Reg names the faulting system register when the panic identifies
+	// one (an UndefError from a deprivileged access), else "".
+	Reg string
+	// Traps and Steps are the watchdog's counters, when one was attached.
+	Traps uint64
+	Steps uint64
+	// Msg is the one-line cause: the panic value or the budget overrun.
+	Msg string
+	// Recent is the trap history leading up to the failure, oldest first
+	// (present when the platform enabled the trace ring).
+	Recent []trace.Event
+	// Stack is the trimmed Go stack of a recovered panic ("" otherwise).
+	Stack string
+	// InjectionLog is the fault injector's applied-fault log, when an
+	// injector was attached: the perturbations that led here.
+	InjectionLog []string
+}
+
+// Error renders the one-line form.
+func (e *SimError) Error() string {
+	return fmt.Sprintf("fault: %s on cpu%d at level %d, cycle %d: %s",
+		e.Kind, e.CPU, e.Level, e.Cycle, e.Msg)
+}
+
+// Diagnostic renders the full multi-line report: the failure line, the
+// budgets, the faulting register, the injected faults, the recent trap
+// history (with lazy detail formatting), and the panic stack.
+func (e *SimError) Diagnostic() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SimError: %s on cpu%d (level %d, cycle %d)\n", e.Kind, e.CPU, e.Level, e.Cycle)
+	fmt.Fprintf(&b, "  cause: %s\n", e.Msg)
+	if e.Reg != "" {
+		fmt.Fprintf(&b, "  faulting register: %s\n", e.Reg)
+	}
+	if e.Traps != 0 || e.Steps != 0 {
+		fmt.Fprintf(&b, "  observed: %d traps, %d guest steps\n", e.Traps, e.Steps)
+	}
+	if len(e.InjectionLog) > 0 {
+		fmt.Fprintf(&b, "  injected faults (%d):\n", len(e.InjectionLog))
+		for _, l := range e.InjectionLog {
+			fmt.Fprintf(&b, "    %s\n", l)
+		}
+	}
+	if len(e.Recent) > 0 {
+		fmt.Fprintf(&b, "  last %d traps (oldest first):\n", len(e.Recent))
+		for _, ev := range e.Recent {
+			fmt.Fprintf(&b, "    L%d->L%d cycle %-12d %s\n", ev.FromLevel, ev.ToLevel, ev.Cycle, ev.Detail())
+		}
+	}
+	if e.Stack != "" {
+		b.WriteString("  stack:\n")
+		for _, line := range strings.Split(e.Stack, "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// Recover converts a value recovered from a panic into a *SimError.
+// Watchdog aborts (already *SimError) pass through unchanged; an
+// *arm.UndefError contributes its register; anything else is wrapped as
+// ErrPanic with a trimmed stack. Call from a deferred function with a
+// non-nil recover() result.
+func Recover(v any) *SimError {
+	if se, ok := v.(*SimError); ok {
+		return se
+	}
+	se := &SimError{Kind: ErrPanic, Stack: trimStack(debug.Stack())}
+	switch p := v.(type) {
+	case *arm.UndefError:
+		se.Msg = p.Error()
+		if p.Reg != arm.RegInvalid {
+			se.Reg = p.Reg.String()
+		}
+	case error:
+		se.Msg = p.Error()
+	default:
+		se.Msg = fmt.Sprint(v)
+	}
+	return se
+}
+
+// trimStack drops the recovery machinery's own frames (debug.Stack,
+// Recover, the deferred closure, panic dispatch) and caps the depth, so
+// the diagnostic leads with the frame that actually panicked.
+func trimStack(stack []byte) string {
+	lines := strings.Split(strings.TrimRight(string(stack), "\n"), "\n")
+	// lines[0] is "goroutine N [running]:"; frames are pairs of lines.
+	const maxFrames = 16
+	var frames []string
+	skip := true
+	for i := 1; i+1 < len(lines); i += 2 {
+		fn := lines[i]
+		if skip {
+			if strings.Contains(fn, "panic(") {
+				skip = false // frames below panic() are the panicking code
+			}
+			continue
+		}
+		frames = append(frames, strings.TrimSpace(fn)+"\n\t"+strings.TrimSpace(lines[i+1]))
+		if len(frames) >= maxFrames {
+			frames = append(frames, "...")
+			break
+		}
+	}
+	if len(frames) == 0 {
+		return strings.Join(lines, "\n")
+	}
+	return strings.Join(frames, "\n")
+}

@@ -78,27 +78,59 @@ func (g *GuestCtx) MapVA(va, ipa mem.Addr) {
 	g.s1.Map(va.PageBase(), ipa.PageBase(), mem.PageSize, mmu.PermRWX)
 }
 
+// Stage1Fault is the typed error for a failed guest Stage-1 walk: the
+// guest accessed a virtual address its own page tables do not map. On
+// real hardware this is a data abort delivered to the guest's EL1 vector,
+// a guest-internal event the hypervisor never sees — so it must never
+// crash the simulator. translateVA mirrors the hardware's exception-entry
+// side effects (FAR_EL1/ESR_EL1) and returns the fault for the guest
+// program to handle.
+type Stage1Fault struct {
+	VA mem.Addr
+}
+
+func (f *Stage1Fault) Error() string {
+	return fmt.Sprintf("kvm: stage-1 translation fault at %#x (guest bug)", uint64(f.VA))
+}
+
 // translateVA models the hardware Stage-1 walk: descriptor fetches go
 // through the guest-access path (and therefore Stage-2).
-func (g *GuestCtx) translateVA(va mem.Addr) mem.Addr {
+func (g *GuestCtx) translateVA(va mem.Addr) (mem.Addr, error) {
 	if g.s1 == nil {
 		panic("kvm: virtual access with Stage-1 disabled")
 	}
 	res, ok := mmu.Walk(&stage1Backing{g: g}, mem.Addr(g.CPU.Reg(ttbr0ForGuest)), va, nil)
 	if !ok {
-		panic(fmt.Sprintf("kvm: stage-1 translation fault at %#x (guest bug)", uint64(va)))
+		// Exception entry to the guest's own EL1 vector: syndrome and
+		// fault address become architecturally visible to the guest.
+		g.CPU.SetReg(arm.FAR_EL1, uint64(va))
+		g.CPU.SetReg(arm.ESR_EL1, uint64(arm.ECDAbtLow)<<26)
+		g.CPU.AddCycles(g.CPU.Cost.ExcEnterEL1)
+		return 0, &Stage1Fault{VA: va}
 	}
-	return res.OA
+	return res.OA, nil
 }
 
-// ReadVA reads guest virtual memory through both translation stages.
-func (g *GuestCtx) ReadVA(va mem.Addr) uint64 {
-	return g.CPU.GuestRead(g.translateVA(va), 8)
+// ReadVA reads guest virtual memory through both translation stages. An
+// unmapped virtual address returns a *Stage1Fault (the guest's own data
+// abort), not a simulator crash.
+func (g *GuestCtx) ReadVA(va mem.Addr) (uint64, error) {
+	pa, err := g.translateVA(va)
+	if err != nil {
+		return 0, err
+	}
+	return g.CPU.GuestRead(pa, 8), nil
 }
 
-// WriteVA writes guest virtual memory through both translation stages.
-func (g *GuestCtx) WriteVA(va mem.Addr, v uint64) {
-	g.CPU.GuestWrite(g.translateVA(va), 8, v)
+// WriteVA writes guest virtual memory through both translation stages;
+// fault behavior as ReadVA.
+func (g *GuestCtx) WriteVA(va mem.Addr, v uint64) error {
+	pa, err := g.translateVA(va)
+	if err != nil {
+		return err
+	}
+	g.CPU.GuestWrite(pa, 8, v)
+	return nil
 }
 
 // Idle executes wfi: the guest yields to its hypervisor until the next

@@ -1,8 +1,10 @@
 package kvm
 
 import (
+	"errors"
 	"testing"
 
+	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/mem"
 )
 
@@ -12,9 +14,11 @@ func TestStage1TranslationInVM(t *testing.T) {
 		g.EnableStage1()
 		// Map VA 0x40_0000 onto the guest physical page at RAM+0x8000.
 		g.MapVA(0x40_0000, GuestRAMIPA+0x8000)
-		g.WriteVA(0x40_0018, 0xbeef)
-		if got := g.ReadVA(0x40_0018); got != 0xbeef {
-			t.Fatalf("VA read = %#x", got)
+		if err := g.WriteVA(0x40_0018, 0xbeef); err != nil {
+			t.Fatalf("WriteVA: %v", err)
+		}
+		if got, err := g.ReadVA(0x40_0018); err != nil || got != 0xbeef {
+			t.Fatalf("VA read = %#x, %v", got, err)
 		}
 		// The same bytes are visible through the physical path.
 		if got := g.RAMRead64(0x8018); got != 0xbeef {
@@ -37,9 +41,11 @@ func TestStage1InNestedVMThreeTranslationChain(t *testing.T) {
 		s.RunGuest(0, func(g *GuestCtx) {
 			g.EnableStage1()
 			g.MapVA(0x7000_0000, GuestRAMIPA+0x4000)
-			g.WriteVA(0x7000_0020, 0xfacade)
-			if got := g.ReadVA(0x7000_0020); got != 0xfacade {
-				t.Fatalf("neve=%v: L2 VA read = %#x", neve, got)
+			if err := g.WriteVA(0x7000_0020, 0xfacade); err != nil {
+				t.Fatalf("neve=%v: WriteVA: %v", neve, err)
+			}
+			if got, err := g.ReadVA(0x7000_0020); err != nil || got != 0xfacade {
+				t.Fatalf("neve=%v: L2 VA read = %#x, %v", neve, got, err)
 			}
 		})
 		l2, l1 := s.NestedVM, s.VM
@@ -51,15 +57,34 @@ func TestStage1InNestedVMThreeTranslationChain(t *testing.T) {
 }
 
 func TestStage1UnmappedVAIsGuestBug(t *testing.T) {
+	// An unmapped VA is the guest's own data abort: a typed error with
+	// the architectural side effects, never a simulator crash.
 	s := NewVMStack(StackOptions{})
 	s.RunGuest(0, func(g *GuestCtx) {
 		g.EnableStage1()
-		defer func() {
-			if recover() == nil {
-				t.Error("unmapped VA access did not fault")
-			}
-		}()
-		g.ReadVA(0xdead_0000)
+		_, err := g.ReadVA(0xdead_0000)
+		var s1 *Stage1Fault
+		if !errors.As(err, &s1) {
+			t.Fatalf("unmapped VA read returned %v, want *Stage1Fault", err)
+		}
+		if s1.VA != 0xdead_0000 {
+			t.Fatalf("fault VA = %#x", uint64(s1.VA))
+		}
+		// The guest's syndrome registers saw the abort.
+		if got := g.CPU.Reg(arm.FAR_EL1); got != 0xdead_0000 {
+			t.Fatalf("FAR_EL1 = %#x", got)
+		}
+		if got := g.CPU.Reg(arm.ESR_EL1); got>>26 != uint64(arm.ECDAbtLow) {
+			t.Fatalf("ESR_EL1 = %#x", got)
+		}
+		if err := g.WriteVA(0xdead_0000, 1); !errors.As(err, &s1) {
+			t.Fatalf("unmapped VA write returned %v", err)
+		}
+		// The guest (and the simulator) survive: mapped accesses still work.
+		g.MapVA(0x40_0000, GuestRAMIPA+0x8000)
+		if err := g.WriteVA(0x40_0000, 7); err != nil {
+			t.Fatalf("post-fault WriteVA: %v", err)
+		}
 	})
 }
 

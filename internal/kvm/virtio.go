@@ -41,10 +41,23 @@ type hypRingMem struct {
 	c *arm.CPU
 }
 
+// RingFault reports a virtio ring or buffer address that does not map in
+// the VM's tables: a buggy or malicious guest programmed QueuePFN with
+// garbage. It is thrown by the backend's memory view and caught at the
+// kick boundary, which fails the device instead of the simulator.
+type RingFault struct {
+	Hyp  string
+	Addr mem.Addr
+}
+
+func (f *RingFault) Error() string {
+	return fmt.Sprintf("kvm[%s]: virtio ring address %#x unmapped", f.Hyp, uint64(f.Addr))
+}
+
 func (m hypRingMem) translate(a mem.Addr) mem.Addr {
 	pa, ok := m.h.ipaToMachine(m.v, a)
 	if !ok {
-		panic(fmt.Sprintf("kvm[%s]: virtio ring address %#x unmapped", m.h.Cfg.Name, uint64(a)))
+		panic(&RingFault{Hyp: m.h.Cfg.Name, Addr: a})
 	}
 	return pa
 }
@@ -100,14 +113,23 @@ func (h *Hypervisor) virtioMMIO(c *arm.CPU, v *VCPU, e *arm.Exception) uint64 {
 	case virtio.RegQueueNotify:
 		// The kick: drain the queue in the backend, then signal
 		// completion with the device interrupt.
-		if dev.echo == nil {
+		if dev.echo == nil || dev.status&virtioStatusNeedsReset != 0 {
 			return 0
 		}
 		c.Work(workVirtioKick)
 		// Refresh the backend's memory view (the CPU handle changes per
 		// trap).
 		dev.echo.Ring.Mem = hypRingMem{h: h, v: v, c: c}
-		if n := dev.echo.Drain(); n > 0 {
+		n, rf := drainRing(dev.echo)
+		if rf != nil {
+			// The guest's ring points at unmapped memory: fail the
+			// device (NEEDS_RESET, no completion) and keep running; the
+			// driver observes the missing used entry.
+			dev.status |= virtioStatusNeedsReset
+			dev.echo = nil
+			return 0
+		}
+		if n > 0 {
 			dev.intStatus |= 1
 			h.injectVIRQ(v, VirtioIRQ)
 			h.flushPendingVIRQ(v)
@@ -116,6 +138,25 @@ func (h *Hypervisor) virtioMMIO(c *arm.CPU, v *VCPU, e *arm.Exception) uint64 {
 		dev.intStatus &^= uint32(e.Val)
 	}
 	return 0
+}
+
+// virtioStatusNeedsReset is the DEVICE_NEEDS_RESET status bit the device
+// sets when the backend hits an unusable ring.
+const virtioStatusNeedsReset = 0x40
+
+// drainRing runs the backend drain, containing *RingFault throws from the
+// ring memory view; any other panic is a model bug and propagates.
+func drainRing(e *virtio.Echo) (n int, rf *RingFault) {
+	defer func() {
+		if v := recover(); v != nil {
+			f, ok := v.(*RingFault)
+			if !ok {
+				panic(v)
+			}
+			rf = f
+		}
+	}()
+	return e.Drain(), nil
 }
 
 // Backend work constants.

@@ -107,6 +107,38 @@ type flatMem struct{ data map[uint64]uint64 }
 func (m flatMem) Read64(a mem.Addr) uint64     { return m.data[uint64(a)] }
 func (m flatMem) Write64(a mem.Addr, v uint64) { m.data[uint64(a)] = v }
 
+func TestVirtioGarbageRingFailsDeviceNotSimulator(t *testing.T) {
+	// A guest programming QueuePFN with an unmapped address must not
+	// crash the simulator (the backend would otherwise panic translating
+	// the ring): the device goes NEEDS_RESET, the kick completes nothing,
+	// and the stack stays alive.
+	for _, build := range []func() *Stack{
+		func() *Stack { return NewVMStack(StackOptions{}) },
+		func() *Stack { return NewNestedStack(StackOptions{GuestNEVE: true}) },
+	} {
+		s := build()
+		s.RunGuest(0, func(g *GuestCtx) {
+			if err := g.VirtioInit(); err != nil {
+				t.Fatal(err)
+			}
+			base := VirtioBase + VirtioRegOff
+			// Point the device's ring view far outside guest RAM.
+			g.CPU.GuestWrite(base+virtio.RegQueuePFN, 4, 0xdead0)
+			got, err := g.VirtioEcho(0x42)
+			if err == nil {
+				t.Fatalf("echo over a garbage ring succeeded: %#x", got)
+			}
+			if st := g.CPU.GuestRead(base+virtio.RegStatus, 4); st&0x40 == 0 {
+				t.Fatalf("device status %#x missing NEEDS_RESET", st)
+			}
+			// Further kicks on the failed device are ignored, not fatal.
+			g.CPU.GuestWrite(base+virtio.RegQueueNotify, 4, 0)
+			// And the rest of the stack still works.
+			g.Hypercall()
+		})
+	}
+}
+
 func TestVirtioEchoBeforeInitErrors(t *testing.T) {
 	s := NewVMStack(StackOptions{})
 	s.RunGuest(0, func(g *GuestCtx) {

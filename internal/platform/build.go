@@ -3,6 +3,7 @@ package platform
 import (
 	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/core"
+	"github.com/nevesim/neve/internal/fault"
 	"github.com/nevesim/neve/internal/kvm"
 	"github.com/nevesim/neve/internal/trace"
 	"github.com/nevesim/neve/internal/workload"
@@ -36,6 +37,18 @@ type Platform interface {
 	Spec() Spec
 	// RunGuest runs fn as the innermost guest OS on vcpu index i.
 	RunGuest(i int, fn func(g Guest))
+	// RunGuestErr is RunGuest behind the recovery boundary: internal
+	// panics (injected faults, guest-triggered bugs, watchdog aborts)
+	// return as a *fault.SimError instead of crashing the process. A
+	// platform that returned a SimError is poisoned and must be
+	// discarded.
+	RunGuestErr(i int, fn func(g Guest)) error
+	// Protect runs an arbitrary driver function under the same recovery
+	// boundary (for multi-entry sequences like the IPI benchmarks).
+	Protect(fn func()) error
+	// Injector returns the attached fault injector (nil unless the spec's
+	// Faults plan is active).
+	Injector() *fault.Injector
 	// PreparePeer loads vCPU 1's innermost guest so it can receive IPIs;
 	// a no-op on single-CPU platforms.
 	PreparePeer()
@@ -116,7 +129,9 @@ func buildARM(spec Spec) *armPlatform {
 		s = kvm.NewRecursiveStack(opts)
 	}
 	s.M.Dist.Route(NICSPI, 0)
-	return &armPlatform{spec: spec, s: s}
+	p := &armPlatform{spec: spec, s: s}
+	p.installFaults()
+	return p
 }
 
 func armFeatures(f FeatureLevel) arm.Features {
@@ -143,13 +158,19 @@ func buildX86(spec Spec) *x86Platform {
 		Shadowing:   !spec.NoShadowing,
 		RecordTrace: spec.RecordTrace,
 	})
-	return &x86Platform{spec: spec, s: s}
+	p := &x86Platform{spec: spec, s: s}
+	p.installFaults()
+	return p
 }
 
 // armPlatform is an assembled ARM stack with the uniform surface.
 type armPlatform struct {
 	spec Spec
 	s    *kvm.Stack
+	// inj and wd are the attached fault injector and watchdog (nil when
+	// the spec requests none; see faults.go).
+	inj *fault.Injector
+	wd  *fault.Watchdog
 }
 
 var _ Platform = (*armPlatform)(nil)
@@ -196,6 +217,8 @@ func (p *armPlatform) HasPeer() bool { return len(p.s.M.CPUs) > 1 }
 type x86Platform struct {
 	spec Spec
 	s    *x86.Stack
+	inj  *fault.Injector
+	wd   *fault.Watchdog
 }
 
 var _ Platform = (*x86Platform)(nil)

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/nevesim/neve/internal/fault"
 )
 
 func TestRegistrySpecsValidate(t *testing.T) {
@@ -45,6 +47,9 @@ func TestValidateRejectsIllegalCombinations(t *testing.T) {
 		{"x86 feat", Spec{Arch: X86, Feat: FeatV84}, "ARM axis"},
 		{"x86 gicv2", Spec{Arch: X86, GICv2: true}, "ARM axis"},
 		{"x86 paravirt", Spec{Arch: X86, Paravirt: true}, "ARM axis"},
+		{"fault plan that never fires", Spec{Faults: fault.Plan{Seed: 1}}, "never fire"},
+		{"fault plan with negative count", Spec{Faults: fault.Plan{Every: 10, Count: -1}}, "negative"},
+		{"fault plan with unknown kind", Spec{Faults: fault.Plan{Every: 10, Kinds: []fault.Kind{fault.Kind(99)}}}, "unknown fault kind"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Validate()
@@ -57,6 +62,49 @@ func TestValidateRejectsIllegalCombinations(t *testing.T) {
 		}
 		if _, err := Build(tc.spec); err == nil {
 			t.Errorf("%s: Build accepted an invalid spec", tc.name)
+		}
+	}
+}
+
+// TestValidateNeverPanics sweeps the whole axis grid: every combination —
+// legal or not — must come back from Validate as a nil or descriptive
+// error, never a panic, and every combination Validate accepts must
+// actually build.
+func TestValidateNeverPanics(t *testing.T) {
+	check := func(spec Spec) {
+		defer func() {
+			if v := recover(); v != nil {
+				t.Fatalf("Validate/Build panicked on %+v: %v", spec, v)
+			}
+		}()
+		if err := spec.Validate(); err != nil {
+			if err.Error() == "" {
+				t.Errorf("empty error message for %+v", spec)
+			}
+			return
+		}
+		if _, err := Build(spec); err != nil {
+			t.Errorf("Validate accepted %+v but Build rejected it: %v", spec, err)
+		}
+	}
+	feats := []FeatureLevel{FeatDefault, FeatV80, FeatV81, FeatV83, FeatV84}
+	for _, arch := range []Arch{ARM, X86} {
+		for _, feat := range feats {
+			for nesting := 0; nesting <= 3; nesting++ {
+				for flags := 0; flags < 1<<6; flags++ {
+					check(Spec{
+						Arch:         arch,
+						Feat:         feat,
+						Nesting:      nesting,
+						HostVHE:      flags&1 != 0,
+						GuestVHE:     flags&2 != 0,
+						NEVE:         flags&4 != 0,
+						Paravirt:     flags&8 != 0,
+						GICv2:        flags&16 != 0,
+						OptimizedVHE: flags&32 != 0,
+					})
+				}
+			}
 		}
 	}
 }

@@ -17,6 +17,8 @@ package platform
 import (
 	"fmt"
 	"strings"
+
+	"github.com/nevesim/neve/internal/fault"
 )
 
 // Arch selects the simulated architecture.
@@ -128,6 +130,18 @@ type Spec struct {
 	// NoShadowing disables VMCS shadowing on x86 (the paper's x86
 	// hardware has it, so the default is on).
 	NoShadowing bool
+	// Faults, when active, attaches a seeded fault injector
+	// (internal/fault) to the built platform. The zero Plan — every
+	// registry entry — installs nothing, keeping the paper goldens
+	// byte-identical. A run-harness attachment, not a hardware axis: not
+	// rendered by Axes (set it with nevesim run -faults or directly).
+	Faults fault.Plan
+	// MaxTraps and MaxSteps, when non-zero, attach a trap-storm watchdog
+	// with those budgets: a run exceeding either aborts with a
+	// *fault.SimError diagnostic instead of livelocking. Run-harness
+	// attachments like Faults.
+	MaxTraps uint64
+	MaxSteps uint64
 }
 
 // featOrDefault resolves FeatDefault against the NEVE axis.
@@ -162,6 +176,9 @@ func (s Spec) Validate() error {
 	nesting := s.Nesting
 	if nesting == 0 {
 		nesting = 1
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("platform: %w", err)
 	}
 	if s.Arch == X86 {
 		return s.validateX86(nesting)

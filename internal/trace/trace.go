@@ -241,6 +241,15 @@ type Collector struct {
 	sparse  map[addrKey]uint64
 	enabled bool
 	record  bool
+
+	// recent, when non-nil, is a fixed-capacity ring of the most recent
+	// events, independent of record mode. The fault layer enables it so a
+	// SimError can carry the trap history leading up to a failure; writes
+	// are allocation-free, so enabling it does not disturb the zero-alloc
+	// trap-path guarantee.
+	recent      []Event
+	recentNext  int
+	recentTotal uint64
 }
 
 // NewCollector returns a counting collector. If recordEvents is true the
@@ -286,6 +295,45 @@ func (c *Collector) Trap(ev Event) {
 	if c.record {
 		c.events = append(c.events, ev)
 	}
+	if c.recent != nil {
+		c.recent[c.recentNext] = ev
+		c.recentNext++
+		if c.recentNext == len(c.recent) {
+			c.recentNext = 0
+		}
+		c.recentTotal++
+	}
+}
+
+// EnableRecent keeps a ring of the last n events for diagnostics (the
+// fault layer's SimError history). It allocates the ring once; subsequent
+// writes are allocation-free. n <= 0 disables the ring.
+func (c *Collector) EnableRecent(n int) {
+	if n <= 0 {
+		c.recent, c.recentNext, c.recentTotal = nil, 0, 0
+		return
+	}
+	c.recent = make([]Event, n)
+	c.recentNext = 0
+	c.recentTotal = 0
+}
+
+// Recent returns the retained recent events, oldest first. Nil unless
+// EnableRecent was called.
+func (c *Collector) Recent() []Event {
+	if c == nil || c.recent == nil || c.recentTotal == 0 {
+		return nil
+	}
+	n := len(c.recent)
+	if c.recentTotal < uint64(n) {
+		out := make([]Event, c.recentNext)
+		copy(out, c.recent[:c.recentNext])
+		return out
+	}
+	out := make([]Event, 0, n)
+	out = append(out, c.recent[c.recentNext:]...)
+	out = append(out, c.recent[:c.recentNext]...)
+	return out
 }
 
 // Total returns the total number of traps recorded.
@@ -390,6 +438,10 @@ func (c *Collector) Reset() {
 	c.byReason = [numReasons]uint64{}
 	clear(c.dense)
 	clear(c.sparse)
+	if c.recent != nil {
+		c.recentNext = 0
+		c.recentTotal = 0
+	}
 }
 
 // Summary renders a per-reason and per-detail breakdown, most frequent

@@ -122,6 +122,13 @@ type CPU struct {
 	Vector Handler
 	IRQ    IRQSink
 
+	// HookExit, when non-nil, observes every VM exit after it is recorded
+	// and before the root-mode handler runs (the fault layer's injector
+	// and trap-storm watchdog); HookTick observes every Tick. Both are nil
+	// in all normal runs, costing the hot path one nil check.
+	HookExit func(c *CPU, e *Exit)
+	HookTick func(c *CPU, n uint64)
+
 	nonRoot    bool
 	level      int
 	guestLevel int
@@ -370,6 +377,9 @@ func (c *CPU) HasPendingIRQ() bool { return len(c.pendingIRQ) > 0 }
 // Tick charges guest work and is a preemption point.
 func (c *CPU) Tick(n uint64) {
 	c.cycles += n * c.Cost.Insn
+	if c.HookTick != nil {
+		c.HookTick(c, n)
+	}
 	for len(c.pendingIRQ) > 0 && c.nonRoot {
 		v := c.pendingIRQ[0]
 		c.pendingIRQ = c.pendingIRQ[1:]
@@ -401,6 +411,9 @@ func (c *CPU) exit(e *Exit) uint64 {
 		ev.FromLevel = int(c.level)
 		ev.Cycle = c.cycles
 		c.Trace.Trap(ev)
+	}
+	if c.HookExit != nil {
+		c.HookExit(c, e)
 	}
 	if c.Vector == nil {
 		panic("x86: VM exit with no root handler")
