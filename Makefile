@@ -7,7 +7,7 @@
 GO ?= go
 EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json profile
+.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke profile
 
 FUZZ_TARGETS := FuzzDifferentialNVvsNEVE FuzzFaultPlanRecovery FuzzParsePlan
 FUZZTIME ?= 10s
@@ -50,7 +50,7 @@ fuzz-smoke:
 		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) ./internal/fault/ || exit 1; \
 	done
 
-ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json
+ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke
 
 # Go benchmarks for the simulator's own speed (not the paper's numbers):
 # memory/TLB fast paths, the trap hot path, the trace collector, and the
@@ -68,6 +68,18 @@ bench-smoke:
 # Machine-readable perf trajectory: writes BENCH_<date>.json.
 bench-json:
 	$(GO) run ./cmd/nevesim bench -json
+
+# Compare two BENCH_*.json reports; exits non-zero on a >10% per-suite
+# wall-time regression. Usage: make bench-diff OLD=a.json NEW=b.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# CI smoke: diff the newest committed report against itself — always a
+# zero-regression pass, proving benchdiff builds and parses the schema.
+benchdiff-smoke:
+	@latest="$$(ls BENCH_*.json | sort | tail -1)"; \
+	echo "benchdiff $$latest $$latest"; \
+	$(GO) run ./cmd/benchdiff "$$latest" "$$latest"
 
 # Capture pprof profiles of the full suite run; see EXPERIMENTS.md
 # ("Profiling") for how to read them.

@@ -1,0 +1,108 @@
+// Command benchdiff compares two BENCH_<date>.json performance reports
+// (written by `nevesim bench -json`) and fails on wall-time regressions:
+//
+//	benchdiff [-threshold pct] OLD.json NEW.json
+//
+// For every suite present in both reports it prints old/new wall time and
+// the relative change, and exits non-zero if any suite slowed down by
+// more than -threshold percent (default 10). Suites that appear in only
+// one report are listed but never fail the diff, so adding or retiring a
+// suite doesn't break CI. Throughput-only differences (cells/sec on a
+// zero-wall suite, parallelism changes) are informational.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nevesim/neve/internal/bench"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
+	os.Exit(2)
+}
+
+func load(path string) bench.Report {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	var r bench.Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return r
+}
+
+func bootMode(r bench.Report) string {
+	if r.ColdBoot {
+		return "cold-boot"
+	}
+	return "warm-boot"
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "max tolerated per-suite wall-time regression, percent")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 2 {
+		usage()
+	}
+	oldR, newR := load(flag.Arg(0)), load(flag.Arg(1))
+
+	fmt.Printf("old: %s (%s, %d workers, %s)\n", flag.Arg(0), oldR.Date, oldR.Parallelism, bootMode(oldR))
+	fmt.Printf("new: %s (%s, %d workers, %s)\n", flag.Arg(1), newR.Date, newR.Parallelism, bootMode(newR))
+	if oldR.ColdBoot != newR.ColdBoot {
+		fmt.Println("note: boot modes differ; the delta includes the checkpoint cache itself")
+	}
+
+	oldSuites := make(map[string]bench.SuiteStats, len(oldR.Suites))
+	for _, s := range oldR.Suites {
+		oldSuites[s.Name] = s
+	}
+
+	fmt.Printf("%-8s %12s %12s %9s\n", "suite", "old wall ms", "new wall ms", "delta")
+	failed := false
+	for _, n := range newR.Suites {
+		o, ok := oldSuites[n.Name]
+		if !ok {
+			fmt.Printf("%-8s %12s %12.1f %9s  (new suite)\n", n.Name, "-", n.WallMS, "-")
+			continue
+		}
+		delete(oldSuites, n.Name)
+		mark := ""
+		var pct float64
+		if o.WallMS > 0 {
+			pct = (n.WallMS - o.WallMS) / o.WallMS * 100
+			if pct > *threshold {
+				mark = "  REGRESSION"
+				failed = true
+			}
+		} else if n.WallMS > 0 {
+			// Old wall time rounded to zero: any measurable new time is an
+			// unquantifiable slowdown, so only report it.
+			mark = "  (old wall time was 0)"
+		}
+		fmt.Printf("%-8s %12.1f %12.1f %+8.1f%%%s\n", n.Name, o.WallMS, n.WallMS, pct, mark)
+	}
+	for _, s := range oldR.Suites {
+		if o, ok := oldSuites[s.Name]; ok {
+			fmt.Printf("%-8s %12.1f %12s %9s  (suite removed)\n", o.Name, o.WallMS, "-", "-")
+		}
+	}
+	if oldR.TotalWallMS > 0 {
+		fmt.Printf("total    %12.1f %12.1f %+8.1f%%\n",
+			oldR.TotalWallMS, newR.TotalWallMS,
+			(newR.TotalWallMS-oldR.TotalWallMS)/oldR.TotalWallMS*100)
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: wall-time regression above %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+}

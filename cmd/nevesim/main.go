@@ -12,6 +12,7 @@
 //	nevesim optvhe     Section 7.1: optimized VHE guest hypervisor
 //	nevesim recursive  Section 6.2: an L3 hypercall, ARMv8.3 vs NEVE
 //	nevesim bench      time the suites; -json writes BENCH_<date>.json,
+//	                   -coldboot disables the warm-boot checkpoint cache,
 //	                   -cpuprofile/-memprofile capture pprof profiles
 //	nevesim run        microbenchmark one configuration: -config <name|axes>;
 //	                   -faults <plan> injects seeded faults, -max-traps/
@@ -19,9 +20,10 @@
 //	                   with a SimError diagnostic on livelock)
 //	nevesim all        everything above except bench and run
 //
-// Experiment cells run across a worker pool (every cell builds its own
-// simulated machine, and results are order- and value-identical to a
-// sequential run); -parallel N overrides the GOMAXPROCS default.
+// Experiment cells run across a worker pool (every cell gets a private
+// simulated machine — warm-restored from a boot checkpoint by default —
+// and results are order- and value-identical to a sequential cold run);
+// -parallel N overrides the GOMAXPROCS default.
 package main
 
 import (
@@ -111,12 +113,17 @@ func main() {
 // the current directory for cross-PR performance tracking, and with
 // -cpuprofile/-memprofile it captures pprof profiles of the run (the
 // profiling toolchain behind `make profile`; see EXPERIMENTS.md).
+// -coldboot disables the warm-boot checkpoint cache so every cell builds
+// its platform from scratch — the baseline the warm numbers are compared
+// against (outputs are byte-identical either way; only wall time moves).
 func benchReport(h bench.Harness, args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "write BENCH_<date>.json")
+	coldBoot := fs.Bool("coldboot", false, "disable the warm-boot checkpoint cache (cold baseline)")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file")
 	fs.Parse(args)
+	h.ColdBoot = *coldBoot
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {

@@ -88,6 +88,10 @@ type CPU struct {
 	// registration order, exactly the devices that may claim r. Built at
 	// AddDevice time so raw() indexes instead of scanning every device.
 	devTable [NumSysRegs][]SysRegDevice
+	// devMask mirrors devTable occupancy as one byte per register: the
+	// access fast path tests it instead of loading a slice header from the
+	// much larger devTable, keeping the hot dispatch cache-resident.
+	devMask [NumSysRegs]bool
 
 	// excPool stages in-flight Exceptions, one slot per nesting depth, so
 	// the steady-state trap path performs no heap allocation. Slots are
@@ -131,6 +135,7 @@ func (c *CPU) AddDevice(d SysRegDevice) {
 	if cl, ok := d.(SysRegClaimer); ok {
 		for _, r := range cl.SysRegClaims() {
 			c.devTable[r] = append(c.devTable[r], d)
+			c.devMask[r] = true
 		}
 		return
 	}
@@ -138,6 +143,7 @@ func (c *CPU) AddDevice(d SysRegDevice) {
 	for r := RegInvalid + 1; r < numSysRegs; r++ {
 		if Info(r).Device {
 			c.devTable[r] = append(c.devTable[r], d)
+			c.devMask[r] = true
 		}
 	}
 }
@@ -206,20 +212,12 @@ func (c *CPU) GuestLevel() VLevel { return c.guestLevel }
 // accounting. For model plumbing (hypervisor-internal state, devices,
 // the NEVE engine, tests) only — modeled software uses MRS.
 func (c *CPU) Reg(r SysReg) uint64 {
-	eff := r
-	if a := Info(r).Alias; a != RegInvalid {
-		eff = a
-	}
-	return c.regs[eff]
+	return c.regs[StorageReg(r)]
 }
 
 // SetReg writes register storage directly; see Reg.
 func (c *CPU) SetReg(r SysReg, v uint64) {
-	eff := r
-	if a := Info(r).Alias; a != RegInvalid {
-		eff = a
-	}
-	c.regs[eff] = v
+	c.regs[StorageReg(r)] = v
 }
 
 // HCR returns the live HCR_EL2 value (trap routing consults it constantly).
@@ -238,7 +236,7 @@ func (c *CPU) CurrentEL() EL {
 
 // MRS models a system register read by the running software.
 func (c *CPU) MRS(r SysReg) uint64 {
-	info := Info(r)
+	info := infoRef(r)
 	if info.WriteOnly {
 		panic(fmt.Sprintf("arm: MRS of write-only %s", r))
 	}
@@ -247,7 +245,7 @@ func (c *CPU) MRS(r SysReg) uint64 {
 
 // MSR models a system register write by the running software.
 func (c *CPU) MSR(r SysReg, v uint64) {
-	info := Info(r)
+	info := infoRef(r)
 	if info.ReadOnly {
 		panic(fmt.Sprintf("arm: MSR of read-only %s", r))
 	}
@@ -262,20 +260,28 @@ func (c *CPU) MSR(r SysReg, v uint64) {
 //	physical EL1, EL1 reg  plain guest: native; deprivileged non-VHE guest
 //	                       hypervisor (NV1 model bit): trap / NEVE memory
 //	physical EL1, EL0 reg  always native
-func (c *CPU) access(r SysReg, info RegInfo, write bool, wval uint64) uint64 {
+func (c *CPU) access(r SysReg, info *RegInfo, write bool, wval uint64) uint64 {
 	if info.VHEOnly && !c.Feat.VHE {
 		panic(&UndefError{Reg: r, EL: c.el})
 	}
 	if c.el == EL2 {
-		eff := r
-		if info.Alias != RegInvalid {
-			eff = info.Alias
-		} else if info.Min == EL1 && c.regs[HCR_EL2]&HCRE2H != 0 && info.E2H != RegInvalid {
-			// VHE redirection: EL1 access instructions executed at EL2
-			// with E2H=1 access the EL2 registers instead (Section 2).
-			eff = info.E2H
+		// effEL2 folds alias resolution and VHE E2H redirection of EL1
+		// access instructions (Section 2) into one precomputed load.
+		b := 0
+		if c.regs[HCR_EL2]&HCRE2H != 0 {
+			b = 1
 		}
+		eff := effEL2[b][r]
 		c.cycles += c.Cost.SysReg
+		if !c.devMask[eff] {
+			// No device claims eff: plain storage. (raw's EL1 ID-register
+			// virtualization does not apply at EL2.)
+			if write {
+				c.regs[eff] = wval
+				return wval
+			}
+			return c.regs[eff]
+		}
 		return c.raw(eff, write, wval)
 	}
 	if c.el != EL1 {
@@ -325,6 +331,15 @@ func (c *CPU) access(r SysReg, info RegInfo, write bool, wval uint64) uint64 {
 		return c.trapSysReg(r, write, wval)
 	default:
 		c.cycles += c.Cost.SysReg
+		if !c.devMask[r] && (write || (r != MPIDR_EL1 && r != MIDR_EL1)) {
+			// Plain storage: no device claims r and the access is not an
+			// EL1 ID-register read (which raw virtualizes).
+			if write {
+				c.regs[r] = wval
+				return wval
+			}
+			return c.regs[r]
+		}
 		return c.raw(r, write, wval)
 	}
 }

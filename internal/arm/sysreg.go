@@ -387,5 +387,46 @@ func init() {
 		if regInfo[r].Name == "" {
 			panic(fmt.Sprintf("arm: register id %d has no definition", uint16(r)))
 		}
+		storageReg[r] = r
+		if a := regInfo[r].Alias; a != RegInvalid {
+			storageReg[r] = a
+		}
+		effEL2[0][r] = storageReg[r]
+		effEL2[1][r] = storageReg[r]
+		if info := &regInfo[r]; info.Alias == RegInvalid && info.Min == EL1 && info.E2H != RegInvalid {
+			effEL2[1][r] = info.E2H
+		}
 	}
+}
+
+// effEL2 precomputes the effective register a native EL2 access to r
+// reaches, indexed by the HCR_EL2.E2H state: [0] resolves aliases only,
+// [1] additionally applies VHE redirection of EL1 access instructions
+// (Section 2). Folding both rules into one table load keeps the
+// per-access dispatch branch-free on the hottest path of the simulation.
+var effEL2 [2][NumSysRegs]SysReg
+
+// storageReg maps every register ID to the register whose storage it
+// reaches: the Alias target for alternate encodings (*_EL12/*_EL02), the
+// register itself otherwise. Alias resolution sits on the hot path of
+// every register access and saved-context lookup, so it is precomputed
+// into a flat table instead of re-read from RegInfo each time.
+var storageReg [NumSysRegs]SysReg
+
+// StorageReg returns the register whose storage r reaches (Info(r).Alias
+// followed once; aliases never chain).
+func StorageReg(r SysReg) SysReg {
+	if r <= RegInvalid || r >= numSysRegs {
+		panic(fmt.Sprintf("arm: invalid system register id %d", uint16(r)))
+	}
+	return storageReg[r]
+}
+
+// infoRef is the hot-path form of Info: a pointer into the immutable
+// metadata table, avoiding a struct copy per register access.
+func infoRef(r SysReg) *RegInfo {
+	if r <= RegInvalid || r >= numSysRegs {
+		panic(fmt.Sprintf("arm: invalid system register id %d", uint16(r)))
+	}
+	return &regInfo[r]
 }

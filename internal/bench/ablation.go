@@ -44,12 +44,12 @@ type AblationResult struct {
 // RunAblation measures a nested hypercall under every mechanism subset.
 func (h Harness) RunAblation(vhe bool) []AblationResult {
 	variants := AblationVariants()
+	cache := h.newCache()
 	out := make([]AblationResult, len(variants))
 	h.forEachCell(len(out), func(i int) {
 		spec := variants[i].Spec
 		spec.GuestVHE = vhe
-		p := platform.MustBuild(spec)
-		cycles, traps := hypercallCost(p)
+		cycles, traps := hypercallCostWarm(cache, spec)
 		out[i] = AblationResult{Variant: variants[i].Name, VHE: vhe, Cycles: cycles, Traps: traps}
 	})
 	return out

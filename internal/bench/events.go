@@ -25,10 +25,11 @@ type EventRow struct {
 // (the interesting columns of the anomaly analysis).
 func (h Harness) RunFigure2Events(configs []ConfigID) []EventRow {
 	profiles := workload.Profiles()
+	cache := h.newCache()
 	out := make([]EventRow, len(profiles)*len(configs))
 	h.forEachCell(len(out), func(i int) {
 		p, cfg := profiles[i/len(configs)], configs[i%len(configs)]
-		ov, res := RunApp(cfg, p)
+		ov, res := runAppWarm(cache, cfg, p)
 		out[i] = EventRow{Workload: p.Name, Config: cfg, Result: res, Overhead: ov}
 	})
 	return out

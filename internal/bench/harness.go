@@ -26,6 +26,11 @@ type Harness struct {
 	Parallelism int
 	// Configs is the configuration sweep; nil selects AllConfigs().
 	Configs []ConfigID
+	// ColdBoot disables the warm-boot checkpoint cache: every cell builds
+	// its stack from scratch instead of restoring a booted snapshot. The
+	// outputs are byte-identical either way
+	// (TestSnapshotRestoreEquivalence); cold boots only cost wall time.
+	ColdBoot bool
 }
 
 // Workers returns the effective worker count.

@@ -104,6 +104,48 @@ func TestForEachCellZeroAndSmall(t *testing.T) {
 	}
 }
 
+// TestForEachCellMoreWorkersThanTasks pins the workers-clamped-to-n edge:
+// a pool wider than the task list must still run every index exactly once,
+// and never more tasks concurrently than there are tasks.
+func TestForEachCellMoreWorkersThanTasks(t *testing.T) {
+	const n = 3
+	h := Harness{Parallelism: 32}
+	var counts [n]int32
+	var inFlight, maxInFlight int32
+	h.forEachCell(n, func(i int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			max := atomic.LoadInt32(&maxInFlight)
+			if cur <= max || atomic.CompareAndSwapInt32(&maxInFlight, max, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&counts[i], 1)
+		atomic.AddInt32(&inFlight, -1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	if got := atomic.LoadInt32(&maxInFlight); got > n {
+		t.Fatalf("observed %d concurrent tasks for %d cells; workers not clamped", got, n)
+	}
+}
+
+// TestForEachCellSequentialOrder pins the Parallelism == 1 degenerate
+// case: tasks run on the caller's goroutine in exact index order, which
+// is what makes a one-worker run the reference for the determinism gates.
+func TestForEachCellSequentialOrder(t *testing.T) {
+	h := Harness{Parallelism: 1}
+	var order []int
+	h.forEachCell(10, func(i int) { order = append(order, i) }) // no atomics: must be single-goroutine
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("one-worker order = %v, want %v", order, want)
+	}
+}
+
 func TestHarnessWorkersDefaultAndOverride(t *testing.T) {
 	if got := (Harness{Parallelism: 3}).Workers(); got != 3 {
 		t.Fatalf("Workers = %d, want 3", got)

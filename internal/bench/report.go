@@ -35,8 +35,11 @@ type Report struct {
 	// Date is the run date (YYYY-MM-DD).
 	Date string `json:"date"`
 	// Parallelism is the worker count the suites ran with.
-	Parallelism int          `json:"parallelism"`
-	Suites      []SuiteStats `json:"suites"`
+	Parallelism int `json:"parallelism"`
+	// ColdBoot marks a run with the warm-boot checkpoint cache disabled
+	// (every cell booted its stack from scratch).
+	ColdBoot bool         `json:"coldboot,omitempty"`
+	Suites   []SuiteStats `json:"suites"`
 	// TotalWallMS is the wall time of the whole report run.
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -47,6 +50,7 @@ func (h Harness) RunBenchReport() Report {
 	r := Report{
 		Date:        time.Now().Format("2006-01-02"),
 		Parallelism: h.Workers(),
+		ColdBoot:    h.ColdBoot,
 	}
 	start := time.Now()
 
@@ -74,18 +78,20 @@ func (h Harness) RunBenchReport() Report {
 func RunBenchReport() Report { return Harness{}.RunBenchReport() }
 
 func suiteStats(name string, wall time.Duration, cells int, simCycles uint64) SuiteStats {
-	secs := wall.Seconds()
-	if secs <= 0 {
-		secs = 1e-9
+	st := SuiteStats{
+		Name:      name,
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Cells:     cells,
+		SimCycles: simCycles,
 	}
-	return SuiteStats{
-		Name:            name,
-		WallMS:          float64(wall.Microseconds()) / 1000,
-		Cells:           cells,
-		CellsPerSec:     float64(cells) / secs,
-		SimCycles:       simCycles,
-		SimCyclesPerSec: float64(simCycles) / secs,
+	// A clock too coarse to see the run (wall_ms == 0 — possible for a
+	// fully warm suite on a coarse-tick platform) yields zero rates, not
+	// +Inf/NaN garbage in the JSON.
+	if secs := wall.Seconds(); secs > 0 {
+		st.CellsPerSec = float64(cells) / secs
+		st.SimCyclesPerSec = float64(simCycles) / secs
 	}
+	return st
 }
 
 // JSON renders the report as indented JSON.
@@ -97,8 +103,15 @@ func (r Report) JSON() []byte {
 	return append(b, '\n')
 }
 
-// Filename returns the conventional BENCH_<date>.json name for the report.
-func (r Report) Filename() string { return "BENCH_" + r.Date + ".json" }
+// Filename returns the conventional BENCH_<date>.json name for the
+// report; cold-boot baselines get a -coldboot suffix so a warm report of
+// the same day never overwrites them.
+func (r Report) Filename() string {
+	if r.ColdBoot {
+		return "BENCH_" + r.Date + "-coldboot.json"
+	}
+	return "BENCH_" + r.Date + ".json"
+}
 
 // FormatReport renders the report as human-readable text.
 func FormatReport(r Report) string {

@@ -41,10 +41,11 @@ type MicroResult struct {
 // is the sequential table order regardless of worker count.
 func (h Harness) RunAllMicro() []MicroResult {
 	ops, cfgs := MicroOps(), h.configs()
+	cache := h.newCache()
 	out := make([]MicroResult, len(ops)*len(cfgs))
 	h.forEachCell(len(out), func(i int) {
 		op, cfg := ops[i/len(cfgs)], cfgs[i%len(cfgs)]
-		cyc, traps := RunMicro(cfg, op)
+		cyc, traps := runMicroWarm(cache, cfg, op)
 		out[i] = MicroResult{Op: op, Config: cfg, Cycles: cyc, Traps: traps}
 	})
 	return out
@@ -175,10 +176,11 @@ type AppResult struct {
 // sequential order.
 func (h Harness) RunFigure2() []AppResult {
 	profiles, cfgs := workload.Profiles(), h.configs()
+	cache := h.newCache()
 	out := make([]AppResult, len(profiles)*len(cfgs))
 	h.forEachCell(len(out), func(i int) {
 		p, cfg := profiles[i/len(cfgs)], cfgs[i%len(cfgs)]
-		ov, raw := RunApp(cfg, p)
+		ov, raw := runAppWarm(cache, cfg, p)
 		out[i] = AppResult{Workload: p.Name, Config: cfg, Overhead: ov, Raw: raw}
 	})
 	return out

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"sync"
+
+	"github.com/nevesim/neve/internal/platform"
+	"github.com/nevesim/neve/internal/workload"
+)
+
+// Warm-boot checkpoint cache. Platform construction IS the boot
+// simulation — building a nested stack walks page tables, programs VMCS
+// or system register state, and boots every hypervisor level — and a
+// sweep rebuilds the same handful of configurations for every cell. The
+// cache keeps one pool of booted platforms per canonical spec
+// (platform.Spec.Axes is the key): a cell acquires a platform restored to
+// its boot checkpoint, runs only its distinguishing workload, and
+// releases the platform for the next cell of that configuration. Restores
+// are copy-on-write (no page copies until a page is dirtied) and
+// allocation-free, so a warm cell pays for its workload and nothing else.
+//
+// Determinism is unchanged: a restored platform is byte-identical to a
+// freshly built one (the TestSnapshotRestoreEquivalence gate), so tables,
+// goldens, and parallel-vs-sequential comparisons are unaffected by cache
+// hits, misses, or worker interleaving.
+type warmCache struct {
+	mu    sync.Mutex
+	pools map[string][]*warmEntry
+}
+
+// warmEntry is one pooled platform with its boot checkpoint.
+type warmEntry struct {
+	p  platform.Platform
+	cp *platform.Checkpoint
+}
+
+// newCache returns the harness's cell cache: nil when the harness runs
+// cold-boot (callers treat a nil cache as "build every cell").
+func (h Harness) newCache() *warmCache {
+	if h.ColdBoot {
+		return nil
+	}
+	return &warmCache{pools: make(map[string][]*warmEntry)}
+}
+
+// acquire returns a platform in freshly-booted state for spec: a pooled
+// one restored to its boot checkpoint, or a new build (with a checkpoint
+// taken) when the pool is empty. The caller has exclusive use until
+// release.
+func (c *warmCache) acquire(spec platform.Spec) *warmEntry {
+	if spec.Faults.Active() {
+		// Injector state is outside the snapshot (and the spec's Axes key
+		// ignores fault plans): fault cells always boot cold.
+		return &warmEntry{p: platform.MustBuild(spec)}
+	}
+	key := spec.Axes()
+	c.mu.Lock()
+	if pool := c.pools[key]; len(pool) > 0 {
+		e := pool[len(pool)-1]
+		c.pools[key] = pool[:len(pool)-1]
+		c.mu.Unlock()
+		e.p.Restore(e.cp)
+		return e
+	}
+	c.mu.Unlock()
+	p := platform.MustBuild(spec)
+	return &warmEntry{p: p, cp: p.Snapshot()}
+}
+
+// release returns a used platform to its pool. The platform is restored
+// lazily at the next acquire, not here, so the final cell of a sweep
+// never pays for a restore nobody consumes.
+func (c *warmCache) release(e *warmEntry) {
+	if e.cp == nil {
+		return // uncacheable (fault-injecting) build, discard
+	}
+	key := e.p.Spec().Axes()
+	c.mu.Lock()
+	c.pools[key] = append(c.pools[key], e)
+	c.mu.Unlock()
+}
+
+// benchSpec is the spec benchmark cells build: the registry configuration
+// with the benchmark CPU count.
+func benchSpec(id ConfigID) platform.Spec {
+	spec := id.Spec()
+	spec.CPUs = 2
+	return spec
+}
+
+// runMicroWarm is RunMicro through the cache (cold when cache is nil).
+func runMicroWarm(cache *warmCache, id ConfigID, op MicroOp) (cycles, traps uint64) {
+	if cache == nil {
+		return RunMicro(id, op)
+	}
+	e := cache.acquire(benchSpec(id))
+	cycles, traps = RunMicroOn(e.p, op)
+	cache.release(e)
+	return cycles, traps
+}
+
+// runAppWarm is RunApp through the cache (cold when cache is nil).
+func runAppWarm(cache *warmCache, id ConfigID, p workload.Profile) (overhead float64, res workload.Result) {
+	if cache == nil {
+		return RunApp(id, p)
+	}
+	if !id.IsARM() {
+		p = p.Scaled(3)
+	}
+	native := &workload.Native{}
+	nres := p.Run(native, native, native)
+
+	e := cache.acquire(benchSpec(id))
+	plat := e.p
+	plat.PreparePeer()
+	plat.RunGuest(0, func(g platform.Guest) {
+		res = p.Run(g, g, plat)
+	})
+	cache.release(e)
+	overhead = float64(res.Cycles) / float64(nres.Cycles)
+	return overhead, res
+}
+
+// hypercallCostWarm is hypercallCost through the cache.
+func hypercallCostWarm(cache *warmCache, spec platform.Spec) (cycles, traps uint64) {
+	if cache == nil {
+		return hypercallCost(platform.MustBuild(spec))
+	}
+	e := cache.acquire(spec)
+	cycles, traps = hypercallCost(e.p)
+	cache.release(e)
+	return cycles, traps
+}

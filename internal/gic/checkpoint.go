@@ -1,0 +1,31 @@
+package gic
+
+// DistCheckpoint captures the distributor's interrupt state. The target
+// wiring is fixed at machine assembly and is not part of the capture.
+type DistCheckpoint struct {
+	enabled [NumINTIDs]bool
+	pending [NumINTIDs]bool
+	active  [NumINTIDs]bool
+	route   [NumINTIDs]int
+	ctlr    uint32
+}
+
+// Checkpoint captures the distributor state.
+func (d *Dist) Checkpoint() *DistCheckpoint {
+	return &DistCheckpoint{
+		enabled: d.enabled,
+		pending: d.pending,
+		active:  d.active,
+		route:   d.route,
+		ctlr:    d.ctlr,
+	}
+}
+
+// Restore returns the distributor to a checkpointed state.
+func (d *Dist) Restore(cp *DistCheckpoint) {
+	d.enabled = cp.enabled
+	d.pending = cp.pending
+	d.active = cp.active
+	d.route = cp.route
+	d.ctlr = cp.ctlr
+}

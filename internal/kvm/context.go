@@ -21,19 +21,18 @@ type Context struct {
 
 // Get reads a saved register (alias encodings resolve to their target).
 func (ctx *Context) Get(r arm.SysReg) uint64 {
-	if a := arm.Info(r).Alias; a != arm.RegInvalid {
-		r = a
-	}
-	return ctx.regs[r]
+	return ctx.regs[arm.StorageReg(r)]
 }
 
 // Set writes a saved register.
 func (ctx *Context) Set(r arm.SysReg, v uint64) {
-	if a := arm.Info(r).Alias; a != arm.RegInvalid {
-		r = a
-	}
-	ctx.regs[r] = v
+	ctx.regs[arm.StorageReg(r)] = v
 }
+
+// file exposes the raw register file for bulk sequence transfers
+// (arm.CPU.SaveSeq/LoadSeq); slots are alias-resolved at sequence
+// construction, matching what Get/Set would reach.
+func (ctx *Context) file() *[arm.NumSysRegs]uint64 { return &ctx.regs }
 
 // el1CtxRegs is the EL1 system register context KVM/ARM saves and restores
 // when switching between a VM and the host (non-VHE) or between VMs: the

@@ -312,10 +312,7 @@ func (h *Hypervisor) dispatchVEL1HostExit(c *arm.CPU, lc *loadedCtx, e *arm.Exce
 func (h *Hypervisor) emulateVEL2SysReg(c *arm.CPU, v *VCPU, e *arm.Exception) uint64 {
 	c.Work(workSysRegEmu)
 	c.Work(sysRegEmuExtra(e.Reg, e.Write))
-	r := e.Reg
-	if a := arm.Info(r).Alias; a != arm.RegInvalid {
-		r = a
-	}
+	r := arm.StorageReg(e.Reg)
 	store := &v.VEL2
 	if arm.Info(r).Min <= arm.EL1 {
 		store = &v.VirtEL1

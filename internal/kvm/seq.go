@@ -242,26 +242,48 @@ func (h *Hypervisor) guestEnterSeq(c *arm.CPU, v *VCPU, mode runMode) {
 	c.MemOp(31) // reload guest GPRs
 }
 
-// saveVMCtx saves the VM's EL1 context into the hypervisor's vcpu store.
-func (h *Hypervisor) saveVMCtx(c *arm.CPU, v *VCPU) {
+// vmCtxSeq / hostCtxSeq are the world-switch sequences, precomputed per
+// build flavor (a VHE hypervisor reaches the VM EL1 context through the
+// *_EL12 encodings). The register lists and ordering are exactly
+// el1CtxRegs + el0CtxRegs; only the per-access dispatch is resolved once.
+var (
+	vmCtxSeqNonVHE = newVMCtxSeq(false)
+	vmCtxSeqVHE    = newVMCtxSeq(true)
+	hostCtxSeq     = arm.NewCtxSeq(el1CtxRegs, el1CtxRegs)
+)
+
+func newVMCtxSeq(vhe bool) *arm.CtxSeq {
+	var regs, slots []arm.SysReg
 	for _, r := range el1CtxRegs {
-		v.EL1.Set(r, c.MRS(h.vmReg(r)))
+		enc := r
+		if vhe {
+			enc = el12For(r)
+		}
+		regs, slots = append(regs, enc), append(slots, r)
 	}
 	for _, r := range el0CtxRegs {
-		v.EL1.Set(r, c.MRS(r))
+		regs, slots = append(regs, r), append(slots, r)
 	}
+	return arm.NewCtxSeq(regs, slots)
+}
+
+func (h *Hypervisor) vmCtxSeq() *arm.CtxSeq {
+	if h.Cfg.VHE {
+		return vmCtxSeqVHE
+	}
+	return vmCtxSeqNonVHE
+}
+
+// saveVMCtx saves the VM's EL1 context into the hypervisor's vcpu store.
+func (h *Hypervisor) saveVMCtx(c *arm.CPU, v *VCPU) {
+	c.SaveSeq(h.vmCtxSeq(), v.EL1.file())
 	c.MemOp(uint64(len(el1CtxRegs) + len(el0CtxRegs)))
 }
 
 // restoreVMCtx loads the VM's EL1 context onto the hardware.
 func (h *Hypervisor) restoreVMCtx(c *arm.CPU, v *VCPU) {
 	c.MemOp(uint64(len(el1CtxRegs) + len(el0CtxRegs)))
-	for _, r := range el1CtxRegs {
-		c.MSR(h.vmReg(r), v.EL1.Get(r))
-	}
-	for _, r := range el0CtxRegs {
-		c.MSR(r, v.EL1.Get(r))
-	}
+	c.LoadSeq(h.vmCtxSeq(), v.EL1.file())
 }
 
 // restoreHostCtx / saveHostCtx switch the non-VHE build's host kernel EL1
@@ -270,15 +292,11 @@ func (h *Hypervisor) restoreVMCtx(c *arm.CPU, v *VCPU) {
 // deferred (NEVE).
 func (h *Hypervisor) restoreHostCtx(c *arm.CPU) {
 	c.MemOp(uint64(len(el1CtxRegs)))
-	for _, r := range el1CtxRegs {
-		c.MSR(r, h.hostCtx.Get(r))
-	}
+	c.LoadSeq(hostCtxSeq, h.hostCtx.file())
 }
 
 func (h *Hypervisor) saveHostCtx(c *arm.CPU) {
-	for _, r := range el1CtxRegs {
-		h.hostCtx.Set(r, c.MRS(r))
-	}
+	c.SaveSeq(hostCtxSeq, h.hostCtx.file())
 	c.MemOp(uint64(len(el1CtxRegs)))
 }
 

@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/gic"
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/mmu"
+	"github.com/nevesim/neve/internal/timer"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// Checkpoint captures the whole machine: a copy-on-write memory
+// snapshot plus the Go-side state of every hardware component. Restoring
+// it returns the machine byte-for-byte to the captured point.
+type Checkpoint struct {
+	mem    *mem.Snapshot
+	cpus   []*arm.CPUCheckpoint
+	dist   *gic.DistCheckpoint
+	timers []timer.TimerCheckpoint
+	s2     mmu.Stage2Checkpoint
+	uart   []byte
+	trace  trace.CollectorCheckpoint
+}
+
+// Checkpoint captures the machine state.
+func (m *Machine) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		mem:   m.Mem.Snapshot(),
+		dist:  m.Dist.Checkpoint(),
+		s2:    m.S2.Checkpoint(),
+		uart:  append([]byte(nil), m.UART.buf.Bytes()...),
+		trace: m.Trace.Checkpoint(),
+	}
+	for _, c := range m.CPUs {
+		cp.cpus = append(cp.cpus, c.Checkpoint())
+	}
+	for _, t := range m.Timers {
+		cp.timers = append(cp.timers, t.Checkpoint())
+	}
+	return cp
+}
+
+// Restore returns the machine to a checkpointed state.
+func (m *Machine) Restore(cp *Checkpoint) {
+	m.Mem.Restore(cp.mem)
+	m.Dist.Restore(cp.dist)
+	m.S2.Restore(cp.s2)
+	m.UART.buf.Reset()
+	m.UART.buf.Write(cp.uart)
+	m.Trace.Restore(cp.trace)
+	for i, c := range m.CPUs {
+		c.Restore(cp.cpus[i])
+	}
+	for i, t := range m.Timers {
+		t.Restore(cp.timers[i])
+	}
+}

@@ -55,17 +55,32 @@ type page = [PageSize]byte
 
 type dirLeaf = [dirLeafPages]*page
 
+// sharedLeaf mirrors a dirLeaf with copy-on-write shared bits: a true
+// entry marks a page whose storage is owned jointly with a Snapshot and
+// must be copied before its first write.
+type sharedLeaf = [dirLeafPages]bool
+
 // Memory is a sparse physical memory. The zero value is not usable; call
 // New.
 type Memory struct {
 	// lastBase/lastPage cache the most recently touched page; lastPage
-	// is nil when the cache is empty.
-	lastBase Addr
-	lastPage *page
+	// is nil when the cache is empty. lastShared caches the page's
+	// copy-on-write shared bit (always false while cow is off).
+	lastBase   Addr
+	lastPage   *page
+	lastShared bool
+	// cow is set by the first Snapshot and enables shared-bit tracking
+	// on the access paths.
+	cow bool
 	// dir is the two-level page directory for pages below dirMaxPages.
 	dir []*dirLeaf
+	// shared holds the copy-on-write bits, parallel to dir (nil leaves
+	// mean all-unshared).
+	shared []*sharedLeaf
 	// high holds the (test-only) pages at or above dirMaxPages.
 	high map[Addr]*page
+	// sharedHigh holds the copy-on-write bits of high pages.
+	sharedHigh map[Addr]bool
 	// populated counts allocated pages across dir and high.
 	populated int
 	// allocNext is the bump pointer used by AllocPage.
@@ -113,6 +128,7 @@ func (m *Memory) page(a Addr, allocate bool) *page {
 		return m.lastPage
 	}
 	var p *page
+	shared := false
 	pn := uint64(base) >> PageShift
 	if pn < dirMaxPages {
 		li, pi := pn>>dirLeafBits, pn&dirLeafMask
@@ -138,6 +154,8 @@ func (m *Memory) page(a Addr, allocate bool) *page {
 			p = new(page)
 			leaf[pi] = p
 			m.populated++
+		} else if m.cow && int(li) < len(m.shared) && m.shared[li] != nil {
+			shared = m.shared[li][pi]
 		}
 	} else {
 		p = m.high[base]
@@ -151,9 +169,30 @@ func (m *Memory) page(a Addr, allocate bool) *page {
 			p = new(page)
 			m.high[base] = p
 			m.populated++
+		} else if m.cow {
+			shared = m.sharedHigh[base]
 		}
 	}
-	m.lastBase, m.lastPage = base, p
+	m.lastBase, m.lastPage, m.lastShared = base, p, shared
+	return p
+}
+
+// unshare copies the shared page at base into storage this Memory owns
+// alone, clears its shared bit, and returns the private copy. Called on
+// the first write to a page a Snapshot still references.
+func (m *Memory) unshare(base Addr, old *page) *page {
+	p := new(page)
+	*p = *old
+	pn := uint64(base) >> PageShift
+	if pn < dirMaxPages {
+		li, pi := pn>>dirLeafBits, pn&dirLeafMask
+		m.dir[li][pi] = p
+		m.shared[li][pi] = false
+	} else {
+		m.high[base] = p
+		delete(m.sharedHigh, base)
+	}
+	m.lastBase, m.lastPage, m.lastShared = base, p, false
 	return p
 }
 
@@ -180,6 +219,9 @@ func (m *Memory) Write64(a Addr, v uint64) error {
 		return err
 	}
 	p := m.page(a, true)
+	if m.lastShared {
+		p = m.unshare(a.PageBase(), p)
+	}
 	off := a.PageOff()
 	for i := 0; i < 8; i++ {
 		p[off+uint64(i)] = byte(v >> (8 * i))
@@ -210,6 +252,9 @@ func (m *Memory) Write32(a Addr, v uint32) error {
 		return err
 	}
 	p := m.page(a, true)
+	if m.lastShared {
+		p = m.unshare(a.PageBase(), p)
+	}
 	off := a.PageOff()
 	for i := 0; i < 4; i++ {
 		p[off+uint64(i)] = byte(v >> (8 * i))
@@ -258,12 +303,18 @@ func (m *Memory) AllocPage() Addr {
 // ZeroPage clears the page containing a.
 func (m *Memory) ZeroPage(a Addr) {
 	if p := m.page(a, false); p != nil {
+		if m.lastShared {
+			p = m.unshare(a.PageBase(), p)
+		}
 		*p = page{}
 	}
 }
 
-// PopulatedPages returns the sorted base addresses of all written pages,
-// for tests and diagnostics.
+// PopulatedPages returns the base addresses of all written pages in
+// ascending address order, for tests, diagnostics, and snapshot capture.
+// The order is deterministic regardless of allocation history: directory
+// pages come out of an ascending index walk, and the (test-only) high
+// pages are sorted before being appended.
 func (m *Memory) PopulatedPages() []Addr {
 	out := make([]Addr, 0, m.populated)
 	for li, leaf := range m.dir {
@@ -276,9 +327,13 @@ func (m *Memory) PopulatedPages() []Addr {
 			}
 		}
 	}
-	for a := range m.high {
-		out = append(out, a)
+	if len(m.high) > 0 {
+		highStart := len(out)
+		for a := range m.high {
+			out = append(out, a)
+		}
+		high := out[highStart:]
+		sort.Slice(high, func(i, j int) bool { return high[i] < high[j] })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

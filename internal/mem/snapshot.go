@@ -1,0 +1,121 @@
+package mem
+
+import "sort"
+
+// Copy-on-write snapshots. Snapshot captures the current page set by
+// reference — O(populated pages), no page copies — and marks every
+// captured page shared. The live Memory keeps running; its first write to
+// a shared page copies that page into private storage (see unshare), so a
+// snapshot only ever costs as many page copies as the subsequent run
+// actually dirties. Restore reinstalls the captured refs and re-marks
+// them shared, returning the Memory byte-for-byte to its snapshot state,
+// including the AllocPage bump pointer — so address allocation after a
+// restore replays identically to the original run, which is what makes
+// warm-boot reuse deterministic.
+
+// snapPage is one captured page reference.
+type snapPage struct {
+	base Addr
+	p    *page
+}
+
+// Snapshot is an immutable capture of a Memory's page set. It stays valid
+// across any number of Restore calls; the pages it references are never
+// written through the owning Memory again.
+type Snapshot struct {
+	// pages is the captured page set in ascending base order.
+	pages     []snapPage
+	allocNext Addr
+	populated int
+}
+
+// Pages returns the number of captured pages.
+func (s *Snapshot) Pages() int { return len(s.pages) }
+
+// Snapshot captures the current page set and enables copy-on-write
+// tracking on m.
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{
+		pages:     make([]snapPage, 0, m.populated),
+		allocNext: m.allocNext,
+		populated: m.populated,
+	}
+	for len(m.shared) < len(m.dir) {
+		m.shared = append(m.shared, nil)
+	}
+	for li, leaf := range m.dir {
+		if leaf == nil {
+			continue
+		}
+		shl := m.shared[li]
+		if shl == nil {
+			shl = new(sharedLeaf)
+			m.shared[li] = shl
+		}
+		for pi, p := range leaf {
+			if p == nil {
+				continue
+			}
+			base := Addr(uint64(li)<<dirLeafBits+uint64(pi)) << PageShift
+			s.pages = append(s.pages, snapPage{base: base, p: p})
+			shl[pi] = true
+		}
+	}
+	if len(m.high) > 0 {
+		highStart := len(s.pages)
+		if m.sharedHigh == nil {
+			m.sharedHigh = make(map[Addr]bool, len(m.high))
+		}
+		for a, p := range m.high {
+			s.pages = append(s.pages, snapPage{base: a, p: p})
+			m.sharedHigh[a] = true
+		}
+		high := s.pages[highStart:]
+		sort.Slice(high, func(i, j int) bool { return high[i].base < high[j].base })
+	}
+	m.cow = true
+	// The cached page just became shared; drop the cache rather than
+	// recompute its bit.
+	m.lastBase, m.lastPage, m.lastShared = 0, nil, false
+	return s
+}
+
+// Restore returns m to the state captured by s: pages written since the
+// snapshot revert to the captured bytes, pages allocated since are
+// dropped, and the allocation bump pointer rewinds. s must have been
+// taken from m. The restore allocates nothing beyond what Snapshot
+// already set up: directory leaves are cleared in place and the captured
+// refs reinstalled.
+func (m *Memory) Restore(s *Snapshot) {
+	for li, leaf := range m.dir {
+		if leaf != nil {
+			*leaf = dirLeaf{}
+		}
+		if li < len(m.shared) && m.shared[li] != nil {
+			*m.shared[li] = sharedLeaf{}
+		}
+	}
+	for a := range m.high {
+		delete(m.high, a)
+	}
+	for a := range m.sharedHigh {
+		delete(m.sharedHigh, a)
+	}
+	for _, sp := range s.pages {
+		pn := uint64(sp.base) >> PageShift
+		if pn < dirMaxPages {
+			li, pi := pn>>dirLeafBits, pn&dirLeafMask
+			// The leaf and its shared mirror exist: they were created at
+			// or before Snapshot and the directory never shrinks.
+			m.dir[li][pi] = sp.p
+			m.shared[li][pi] = true
+		} else {
+			m.high[sp.base] = sp.p
+			m.sharedHigh[sp.base] = true
+		}
+	}
+	m.allocNext = s.allocNext
+	m.populated = s.populated
+	m.cow = true
+	m.lastBase, m.lastPage, m.lastShared = 0, nil, false
+}

@@ -1,0 +1,77 @@
+package mmu
+
+import "github.com/nevesim/neve/internal/mem"
+
+// Checkpoint/Restore pairs for the MMU state that is not already covered
+// by a mem.Snapshot. Table *contents* live in simulated memory and travel
+// with the memory snapshot; only the Go-side bookkeeping (TLB arrays,
+// table page counters) needs explicit capture. Restores copy into the
+// live storage in place and never allocate, so the warm-boot restore path
+// stays off the garbage collector.
+
+// TLBCheckpoint captures a TLB's full contents and statistics. The slots
+// are part of the cycle-accurate state: a restored TLB must hit and miss
+// exactly like the original, because misses feed walk cycles into the CPU
+// cycle counters.
+type TLBCheckpoint struct {
+	slots  []tlbSlot
+	next   []uint16
+	live   int
+	hits   uint64
+	misses uint64
+}
+
+// Checkpoint captures the TLB state.
+func (t *TLB) Checkpoint() TLBCheckpoint {
+	return TLBCheckpoint{
+		slots:  append([]tlbSlot(nil), t.slots...),
+		next:   append([]uint16(nil), t.next...),
+		live:   t.live,
+		hits:   t.hits,
+		misses: t.misses,
+	}
+}
+
+// Restore returns the TLB to a checkpointed state. The geometry (ways,
+// sets) is fixed at construction and must match.
+func (t *TLB) Restore(cp TLBCheckpoint) {
+	copy(t.slots, cp.slots)
+	copy(t.next, cp.next)
+	t.live = cp.live
+	t.hits = cp.hits
+	t.misses = cp.misses
+}
+
+// TablesCheckpoint captures a table tree's Go-side bookkeeping; the
+// descriptors themselves live in the tree's Backing memory.
+type TablesCheckpoint struct {
+	root  mem.Addr
+	pages int
+}
+
+// Checkpoint captures the tree bookkeeping.
+func (t *Tables) Checkpoint() TablesCheckpoint {
+	return TablesCheckpoint{root: t.Root, pages: t.pages}
+}
+
+// Restore returns the tree bookkeeping to a checkpointed state.
+func (t *Tables) Restore(cp TablesCheckpoint) {
+	t.Root = cp.root
+	t.pages = cp.pages
+}
+
+// Stage2Checkpoint captures the Stage-2 MMU state (its TLB; Mem and
+// WalkCost are fixed wiring).
+type Stage2Checkpoint struct {
+	tlb TLBCheckpoint
+}
+
+// Checkpoint captures the Stage-2 state.
+func (s *Stage2) Checkpoint() Stage2Checkpoint {
+	return Stage2Checkpoint{tlb: s.TLB.Checkpoint()}
+}
+
+// Restore returns the Stage-2 MMU to a checkpointed state.
+func (s *Stage2) Restore(cp Stage2Checkpoint) {
+	s.TLB.Restore(cp.tlb)
+}

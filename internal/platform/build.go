@@ -63,6 +63,13 @@ type Platform interface {
 	ARM() *kvm.Stack
 	// X86 returns the underlying x86 stack, or nil on ARM platforms.
 	X86() *x86.Stack
+	// Snapshot captures the platform's complete state: a copy-on-write
+	// memory snapshot plus every component's checkpoint. See snapshot.go.
+	Snapshot() *Checkpoint
+	// Restore rewinds the platform to a Checkpoint taken from the same
+	// build; the restored platform produces byte-identical output to one
+	// that never ran past the capture point.
+	Restore(cp *Checkpoint)
 }
 
 // Build validates spec and assembles its stack. Illegal axis combinations

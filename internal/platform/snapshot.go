@@ -1,0 +1,46 @@
+package platform
+
+import (
+	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/x86"
+)
+
+// Checkpoint is a restorable capture of a platform's complete state,
+// composed from the component Checkpoint/Restore pairs: the machine's
+// copy-on-write memory snapshot, every CPU's register file and cycle
+// counters, the interrupt and timer hardware, the MMU TLBs, the
+// hypervisor software state at every nesting level, and the trace
+// collector. Capturing is O(populated pages) — page contents are shared
+// copy-on-write with the live memory and only copied when the live side
+// dirties a page.
+//
+// Snapshots are defined for quiescent, fault-free platforms: no vCPU may
+// be mid-trap, and an attached fault injector's internal state is not
+// captured (a platform that took an injected fault is poisoned and must
+// be discarded, never restored).
+type Checkpoint struct {
+	arm *kvm.StackCheckpoint
+	x86 *x86.StackCheckpoint
+}
+
+func (p *armPlatform) Snapshot() *Checkpoint {
+	return &Checkpoint{arm: p.s.Checkpoint()}
+}
+
+func (p *armPlatform) Restore(cp *Checkpoint) {
+	if cp.arm == nil {
+		panic("platform: restoring an x86 checkpoint into an ARM platform")
+	}
+	p.s.Restore(cp.arm)
+}
+
+func (p *x86Platform) Snapshot() *Checkpoint {
+	return &Checkpoint{x86: p.s.Checkpoint()}
+}
+
+func (p *x86Platform) Restore(cp *Checkpoint) {
+	if cp.x86 == nil {
+		panic("platform: restoring an ARM checkpoint into an x86 platform")
+	}
+	p.s.Restore(cp.x86)
+}

@@ -1,0 +1,110 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/nevesim/neve/internal/workload"
+)
+
+// equivProfile is a small event mix exercising every trap family the real
+// workloads use: hypercalls, device kicks, RX interrupts, and wakeup IPIs.
+func equivProfile() workload.Profile {
+	return workload.Profile{
+		Name: "equiv",
+		Ops:  40, OpWork: 30_000,
+		HypercallsPerOp: 0.20,
+		RXPerOp:         0.80, RXCoalesce: 40_000,
+		TXPerOp: 1.0, BackendWork: 8_000,
+		IPIPerOp: 0.50, WakeThreshold: 120_000,
+	}
+}
+
+// runCellSignature runs the equivalence workload on p and digests
+// everything the benchmarks ever report — workload counters, per-CPU
+// cycles, per-level attribution, and the full trap breakdown — into one
+// comparable string.
+func runCellSignature(p Platform) string {
+	prof := equivProfile()
+	if p.Spec().Arch == X86 {
+		prof = prof.Scaled(3)
+	}
+	p.PreparePeer()
+	var res workload.Result
+	p.RunGuest(0, func(g Guest) { res = prof.Run(g, g, p) })
+
+	s := fmt.Sprintf("res=%+v\n", res)
+	n := p.Spec().CPUs
+	if n == 0 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		s += fmt.Sprintf("cpu%d cycles=%d levels=%v\n", i, p.CPUCycles(i), p.LevelCycles(i))
+	}
+	tr := p.Trace()
+	s += fmt.Sprintf("traps=%d\n", tr.Total())
+	details := tr.Details()
+	keys := make([]string, 0, len(details))
+	for k := range details {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%d\n", k, details[k])
+	}
+	return s
+}
+
+// TestSnapshotRestoreEquivalence is the determinism gate for warm-boot
+// restores: for every registry configuration, a platform that is
+// snapshotted after build, run, restored, and run again must produce
+// byte-identical cycle/trap/event output to a cold build on both the
+// second and third generations.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot equivalence matrix skipped in -short mode")
+	}
+	for _, spec := range Registry() {
+		spec := spec
+		spec.CPUs = 2
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			want := runCellSignature(MustBuild(spec))
+
+			p := MustBuild(spec)
+			cp := p.Snapshot()
+			if got := runCellSignature(p); got != want {
+				t.Fatalf("run after Snapshot diverged from cold run:\ncold:\n%s\ngot:\n%s", want, got)
+			}
+			p.Restore(cp)
+			if got := runCellSignature(p); got != want {
+				t.Fatalf("first restored run diverged from cold run:\ncold:\n%s\ngot:\n%s", want, got)
+			}
+			p.Restore(cp)
+			if got := runCellSignature(p); got != want {
+				t.Fatalf("second restored run diverged from cold run:\ncold:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreAllocs pins the warm-boot hot path: restoring a
+// booted checkpoint into a platform that has already run once must not
+// allocate — the whole point of the checkpoint cache is that a warm cell
+// costs no boot work and no garbage.
+func TestSnapshotRestoreAllocs(t *testing.T) {
+	for _, name := range []string{"vm", "neve-vhe", "x86-nested"} {
+		t.Run(name, func(t *testing.T) {
+			spec := MustLookup(name)
+			spec.CPUs = 2
+			p := MustBuild(spec)
+			cp := p.Snapshot()
+			runCellSignature(p)
+			p.Restore(cp) // reach the storage high-water mark
+			if allocs := testing.AllocsPerRun(20, func() { p.Restore(cp) }); allocs > 0 {
+				t.Fatalf("Restore allocates %.1f objects per run; want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+package timer
+
+import "github.com/nevesim/neve/internal/arm"
+
+// TimerCheckpoint captures the timer block's firing memory. The timer
+// registers themselves live in the core's system register file and
+// travel with the CPU checkpoint.
+type TimerCheckpoint struct {
+	firedAt map[arm.SysReg]uint64
+}
+
+// Checkpoint captures the timer state.
+func (t *Timer) Checkpoint() TimerCheckpoint {
+	cp := TimerCheckpoint{firedAt: make(map[arm.SysReg]uint64, len(t.firedAt))}
+	for r, v := range t.firedAt {
+		cp.firedAt[r] = v
+	}
+	return cp
+}
+
+// Restore returns the timer block to a checkpointed state, reusing the
+// live map.
+func (t *Timer) Restore(cp TimerCheckpoint) {
+	clear(t.firedAt)
+	for r, v := range cp.firedAt {
+		t.firedAt[r] = v
+	}
+}

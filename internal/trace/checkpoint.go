@@ -1,0 +1,66 @@
+package trace
+
+// CollectorCheckpoint captures a Collector's counters and retained
+// events. The boot prologue of a warm-boot snapshot typically runs with a
+// freshly Reset collector, so the captured state is small, but the
+// capture is complete either way: dense and sparse counters, per-reason
+// totals, recorded events, and the recent-ring cursor all round-trip.
+type CollectorCheckpoint struct {
+	events      []Event
+	byReason    [numReasons]uint64
+	dense       []uint64
+	sparse      map[addrKey]uint64
+	enabled     bool
+	record      bool
+	recent      []Event
+	recentNext  int
+	recentTotal uint64
+}
+
+// Checkpoint captures the collector state.
+func (c *Collector) Checkpoint() CollectorCheckpoint {
+	cp := CollectorCheckpoint{
+		events:      append([]Event(nil), c.events...),
+		byReason:    c.byReason,
+		dense:       append([]uint64(nil), c.dense...),
+		enabled:     c.enabled,
+		record:      c.record,
+		recentNext:  c.recentNext,
+		recentTotal: c.recentTotal,
+	}
+	if len(c.sparse) > 0 {
+		cp.sparse = make(map[addrKey]uint64, len(c.sparse))
+		for k, v := range c.sparse {
+			cp.sparse[k] = v
+		}
+	}
+	if c.recent != nil {
+		cp.recent = append([]Event(nil), c.recent...)
+	}
+	return cp
+}
+
+// Restore returns the collector to a checkpointed state. Live storage is
+// reused: restoring into the collector the checkpoint came from performs
+// no allocation once the event slice has reached its high-water mark.
+func (c *Collector) Restore(cp CollectorCheckpoint) {
+	c.events = append(c.events[:0], cp.events...)
+	c.byReason = cp.byReason
+	copy(c.dense, cp.dense)
+	clear(c.sparse)
+	for k, v := range cp.sparse {
+		c.sparse[k] = v
+	}
+	c.enabled = cp.enabled
+	c.record = cp.record
+	if cp.recent == nil {
+		c.recent = nil
+	} else {
+		if len(c.recent) != len(cp.recent) {
+			c.recent = make([]Event, len(cp.recent))
+		}
+		copy(c.recent, cp.recent)
+	}
+	c.recentNext = cp.recentNext
+	c.recentTotal = cp.recentTotal
+}

@@ -1,0 +1,41 @@
+package virtio
+
+// EchoCheckpoint captures the backend's cursors and counters. The ring
+// structures themselves live in guest memory and travel with the memory
+// snapshot; the Ring's Memory wiring is refreshed by the owner on the
+// next kick.
+type EchoCheckpoint struct {
+	lastAvail uint16
+	intStatus uint32
+	processed uint64
+}
+
+// Checkpoint captures the backend state.
+func (e *Echo) Checkpoint() EchoCheckpoint {
+	return EchoCheckpoint{lastAvail: e.lastAvail, intStatus: e.IntStatus, processed: e.Processed}
+}
+
+// Restore returns the backend to a checkpointed state.
+func (e *Echo) Restore(cp EchoCheckpoint) {
+	e.lastAvail = cp.lastAvail
+	e.IntStatus = cp.intStatus
+	e.Processed = cp.processed
+}
+
+// DriverCheckpoint captures the guest driver's producer and consumer
+// cursors.
+type DriverCheckpoint struct {
+	next     uint16
+	lastUsed uint16
+}
+
+// Checkpoint captures the driver state.
+func (d *Driver) Checkpoint() DriverCheckpoint {
+	return DriverCheckpoint{next: d.next, lastUsed: d.lastUsed}
+}
+
+// Restore returns the driver to a checkpointed state.
+func (d *Driver) Restore(cp DriverCheckpoint) {
+	d.next = cp.next
+	d.lastUsed = cp.lastUsed
+}
