@@ -7,7 +7,7 @@
 GO ?= go
 EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke profile
+.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke jit-equiv-smoke profile
 
 FUZZ_TARGETS := FuzzDifferentialNVvsNEVE FuzzFaultPlanRecovery FuzzParsePlan
 FUZZTIME ?= 10s
@@ -50,7 +50,21 @@ fuzz-smoke:
 		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) ./internal/fault/ || exit 1; \
 	done
 
-ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke
+ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke jit-equiv-smoke
+
+# Trace-JIT correctness smoke: the figure 2 measured table (deterministic,
+# no wall times) must be byte-identical with super-ops replaying (-jit=on)
+# and every trap interpreted (-jit=off). Any diff is a replay-path bug.
+jit-equiv-smoke:
+	@$(GO) run ./cmd/nevesim -jit=on fig2 > .fig2-jit-on.tmp
+	@$(GO) run ./cmd/nevesim -jit=off fig2 > .fig2-jit-off.tmp
+	@if diff .fig2-jit-on.tmp .fig2-jit-off.tmp; then \
+		echo "fig2 byte-identical jit-on vs jit-off"; \
+		rm -f .fig2-jit-on.tmp .fig2-jit-off.tmp; \
+	else \
+		rm -f .fig2-jit-on.tmp .fig2-jit-off.tmp; \
+		echo "fig2 differs jit-on vs jit-off"; exit 1; \
+	fi
 
 # Go benchmarks for the simulator's own speed (not the paper's numbers):
 # memory/TLB fast paths, the trap hot path, the trace collector, and the

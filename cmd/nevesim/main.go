@@ -23,7 +23,9 @@
 // Experiment cells run across a worker pool (every cell gets a private
 // simulated machine — warm-restored from a boot checkpoint by default —
 // and results are order- and value-identical to a sequential cold run);
-// -parallel N overrides the GOMAXPROCS default.
+// -parallel N overrides the GOMAXPROCS default. -jit=off disables the
+// trace-JIT layer (internal/jit) for every ARM cell; measured outputs are
+// byte-identical either way, only wall time moves.
 package main
 
 import (
@@ -50,8 +52,13 @@ func usage() {
 func main() {
 	flag.Usage = usage
 	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS)")
+	jitMode := flag.String("jit", "on", "trace-JIT layer for experiment cells: on or off")
 	flag.Parse()
-	h := bench.Harness{Parallelism: *parallel}
+	if *jitMode != "on" && *jitMode != "off" {
+		fmt.Fprintf(os.Stderr, "nevesim: -jit=%s is not on or off\n", *jitMode)
+		os.Exit(2)
+	}
+	h := bench.Harness{Parallelism: *parallel, JITOff: *jitMode == "off"}
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)

@@ -3,6 +3,7 @@ package arm
 import (
 	"fmt"
 
+	"github.com/nevesim/neve/internal/jit"
 	"github.com/nevesim/neve/internal/mem"
 	"github.com/nevesim/neve/internal/trace"
 )
@@ -109,6 +110,15 @@ type CPU struct {
 	pendingIRQ []int
 	irqMasked  bool
 	inVIRQ     bool
+
+	// jit, when non-nil, is the trace-JIT engine consulted on every trap;
+	// jitPoison is its pre-bound poison hook, and regsTap the engine's
+	// read/write notifier for regs, which is tracked by access set rather
+	// than walked (see SetJIT in jit.go). Every read or write of regs
+	// must notify the tap with the effective storage index.
+	jit       *jit.Engine
+	jitPoison func()
+	regsTap   *jit.FileTap
 }
 
 // maxTrapDepth bounds the pooled trap nesting (recursive virtualization
@@ -179,6 +189,29 @@ func (c *CPU) ResetLevelCycles() {
 // AddCycles charges raw cycles (used by device models).
 func (c *CPU) AddCycles(n uint64) { c.cycles += n }
 
+// ClockMark snapshots the core's cycle counter and attribution state so a
+// speculative sequence can be rolled back; see MarkClock/RewindClock.
+type ClockMark struct {
+	cycles         uint64
+	levelCycles    [8]uint64
+	lastAttributed uint64
+}
+
+// MarkClock returns a rollback point for the cycle accounting. A caller
+// that charges cycles speculatively (a batched context sequence that may
+// diverge mid-way) takes a mark first and rewinds on divergence, so the
+// aborted attempt is not double-charged on top of the fallback path.
+func (c *CPU) MarkClock() ClockMark {
+	return ClockMark{cycles: c.cycles, levelCycles: c.levelCycles, lastAttributed: c.lastAttributed}
+}
+
+// RewindClock restores the cycle accounting captured by MarkClock.
+func (c *CPU) RewindClock(m ClockMark) {
+	c.cycles = m.cycles
+	c.levelCycles = m.levelCycles
+	c.lastAttributed = m.lastAttributed
+}
+
 // Work charges n instructions of straight-line work: the modeled software's
 // logic between privileged operations.
 func (c *CPU) Work(n uint64) { c.cycles += n * c.Cost.Insn }
@@ -212,22 +245,32 @@ func (c *CPU) GuestLevel() VLevel { return c.guestLevel }
 // accounting. For model plumbing (hypervisor-internal state, devices,
 // the NEVE engine, tests) only — modeled software uses MRS.
 func (c *CPU) Reg(r SysReg) uint64 {
-	return c.regs[StorageReg(r)]
+	i := StorageReg(r)
+	c.regsTap.Read(int(i))
+	return c.regs[i]
 }
 
 // SetReg writes register storage directly; see Reg.
 func (c *CPU) SetReg(r SysReg, v uint64) {
-	c.regs[StorageReg(r)] = v
+	i := StorageReg(r)
+	c.regsTap.Write(int(i))
+	c.regs[i] = v
 }
 
 // HCR returns the live HCR_EL2 value (trap routing consults it constantly).
-func (c *CPU) HCR() uint64 { return c.regs[HCR_EL2] }
+func (c *CPU) HCR() uint64 { return c.hcrRead() }
+
+func (c *CPU) hcrRead() uint64 {
+	c.regsTap.Read(int(HCR_EL2))
+	return c.regs[HCR_EL2]
+}
 
 // CurrentEL models reading the CurrentEL special register. Under ARMv8.3
 // nested virtualization the hardware disguises the deprivileged execution by
 // reporting EL2 to a guest hypervisor really running in EL1 (Section 2).
 func (c *CPU) CurrentEL() EL {
 	c.cycles += c.Cost.SysReg
+	c.regsTap.Read(int(HCR_EL2))
 	if c.el == EL1 && c.regs[HCR_EL2]&HCRNV != 0 && c.Feat.NV {
 		return EL2
 	}
@@ -268,6 +311,7 @@ func (c *CPU) access(r SysReg, info *RegInfo, write bool, wval uint64) uint64 {
 		// effEL2 folds alias resolution and VHE E2H redirection of EL1
 		// access instructions (Section 2) into one precomputed load.
 		b := 0
+		c.regsTap.Read(int(HCR_EL2))
 		if c.regs[HCR_EL2]&HCRE2H != 0 {
 			b = 1
 		}
@@ -277,9 +321,11 @@ func (c *CPU) access(r SysReg, info *RegInfo, write bool, wval uint64) uint64 {
 			// No device claims eff: plain storage. (raw's EL1 ID-register
 			// virtualization does not apply at EL2.)
 			if write {
+				c.regsTap.Write(int(eff))
 				c.regs[eff] = wval
 				return wval
 			}
+			c.regsTap.Read(int(eff))
 			return c.regs[eff]
 		}
 		return c.raw(eff, write, wval)
@@ -288,6 +334,7 @@ func (c *CPU) access(r SysReg, info *RegInfo, write bool, wval uint64) uint64 {
 		panic(fmt.Sprintf("arm: sysreg access to %s at %s not modeled", r, c.el))
 	}
 
+	c.regsTap.Read(int(HCR_EL2))
 	hcr := c.regs[HCR_EL2]
 	// The NV bits have effect only on hardware that implements the
 	// feature: on ARMv8.0 a deprivileged hypervisor crashes no matter what
@@ -335,9 +382,11 @@ func (c *CPU) access(r SysReg, info *RegInfo, write bool, wval uint64) uint64 {
 			// Plain storage: no device claims r and the access is not an
 			// EL1 ID-register read (which raw virtualizes).
 			if write {
+				c.regsTap.Write(int(r))
 				c.regs[r] = wval
 				return wval
 			}
+			c.regsTap.Read(int(r))
 			return c.regs[r]
 		}
 		return c.raw(r, write, wval)
@@ -351,8 +400,10 @@ func (c *CPU) raw(r SysReg, write bool, wval uint64) uint64 {
 		// hypervisor programmed into VMPIDR_EL2/VPIDR_EL2.
 		switch r {
 		case MPIDR_EL1:
+			c.regsTap.Read(int(VMPIDR_EL2))
 			return c.regs[VMPIDR_EL2]
 		case MIDR_EL1:
+			c.regsTap.Read(int(VPIDR_EL2))
 			return c.regs[VPIDR_EL2]
 		}
 	}
@@ -366,9 +417,11 @@ func (c *CPU) raw(r SysReg, write bool, wval uint64) uint64 {
 		}
 	}
 	if write {
+		c.regsTap.Write(int(r))
 		c.regs[r] = wval
 		return wval
 	}
+	c.regsTap.Read(int(r))
 	return c.regs[r]
 }
 
@@ -401,6 +454,7 @@ func (c *CPU) ERET() {
 	if c.el != EL1 {
 		panic("arm: guest ERET only modeled at EL1; the host enters guests with RunGuest")
 	}
+	c.regsTap.Read(int(HCR_EL2))
 	if c.regs[HCR_EL2]&HCRNV == 0 || !c.Feat.NV {
 		panic(&UndefError{EL: c.el, What: "ERET by deprivileged hypervisor without FEAT_NV"})
 	}
@@ -437,7 +491,7 @@ func (c *CPU) AssertIRQ(intid int) {
 func (c *CPU) HasPendingIRQ() bool { return len(c.pendingIRQ) > 0 }
 
 func (c *CPU) checkIRQ() {
-	for len(c.pendingIRQ) > 0 && c.el != EL2 && c.regs[HCR_EL2]&HCRIMO != 0 {
+	for len(c.pendingIRQ) > 0 && c.el != EL2 && c.hcrRead()&HCRIMO != 0 {
 		intid := c.pendingIRQ[0]
 		c.pendingIRQ = c.pendingIRQ[1:]
 		c.trapE(Exception{EC: ECVirtIRQ, IRQ: intid})
@@ -493,7 +547,22 @@ func (c *CPU) trap(e *Exception) uint64 {
 		panic(fmt.Sprintf("arm: trap %s with no EL2 vector installed", e.EC))
 	}
 	c.el, c.level = EL2, 0
-	v := c.Vector.HandleTrap(c, e)
+	var v uint64
+	if j := c.jit; j != nil && c.HookTrap == nil && c.HookTick == nil {
+		var exc [jit.ExcWords]uint64
+		PackExc(e, &exc)
+		rv, st := j.Dispatch(c.ID, &exc)
+		switch st {
+		case jit.Hit:
+			v = rv
+		case jit.Record:
+			v = c.recordedHandle(j, e)
+		default:
+			v = c.Vector.HandleTrap(c, e)
+		}
+	} else {
+		v = c.Vector.HandleTrap(c, e)
+	}
 	c.cycles += c.Cost.TrapReturn
 	c.attribute(0)
 	c.el = EL1
@@ -530,6 +599,8 @@ func (c *CPU) deliverVIRQ() {
 	if c.el != EL1 || c.inVIRQ || c.irqMasked || c.VIRQ == nil {
 		return
 	}
+	c.regsTap.Read(int(ICH_HCR_EL2))
+	c.regsTap.Read(int(HCR_EL2))
 	if c.regs[ICH_HCR_EL2]&ICHHCREn == 0 || c.regs[HCR_EL2]&HCRIMO == 0 {
 		return
 	}
@@ -540,6 +611,7 @@ func (c *CPU) deliverVIRQ() {
 		}
 		// Exception entry does not change the list register; the guest's
 		// IAR read acknowledges (pending -> active) and its EOI completes.
+		c.regsTap.Read(int(lr))
 		before := c.regs[lr]
 		c.cycles += c.Cost.ExcEnterEL1
 		c.inVIRQ = true
@@ -547,6 +619,7 @@ func (c *CPU) deliverVIRQ() {
 		c.VIRQ.HandleVIRQ(c, int(before&LRVIntIDMask))
 		c.inVIRQ = false
 		c.irqMasked = false
+		c.regsTap.Read(int(lr))
 		if c.regs[lr] == before {
 			// The guest did not acknowledge; stop to avoid livelock.
 			return
@@ -557,6 +630,7 @@ func (c *CPU) deliverVIRQ() {
 func (c *CPU) findPendingLR() (SysReg, bool) {
 	for i := 0; i < 16; i++ {
 		r := ICH_LR0_EL2 + SysReg(i)
+		c.regsTap.Read(int(r))
 		v := c.regs[r]
 		if lrState(v) == LRStatePending {
 			return r, true
@@ -581,7 +655,7 @@ func (c *CPU) GuestWrite(ipa mem.Addr, size int, v uint64) {
 
 func (c *CPU) guestAccess(ipa mem.Addr, size int, write bool, wval uint64) (uint64, bool) {
 	pa := ipa
-	if c.el != EL2 && c.regs[HCR_EL2]&HCRVM != 0 {
+	if c.el != EL2 && c.hcrRead()&HCRVM != 0 {
 		if c.S2 == nil {
 			panic("arm: stage-2 enabled with no MMU attached")
 		}

@@ -1,6 +1,10 @@
 package arm
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/jit"
+)
 
 // CtxSeq is a precomputed world-switch register sequence: a straight-line
 // run of MRS or MSR instructions that a hypervisor executes to move system
@@ -47,48 +51,78 @@ func NewCtxSeq(regs, slots []SysReg) *CtxSeq {
 	return seq
 }
 
+// seqRec resolves the active JIT recording's view of store: the engine
+// tracks context files by read/write set instead of walking them, so the
+// batched sequences must report each slot access exactly like the
+// per-register Get/Set funnel would. A nil engine or idle recorder costs
+// one branch; a store that is not a registered file poisons via the
+// zero FileID inside the engine.
+func (c *CPU) seqRec(store *[NumSysRegs]uint64) (*jit.Engine, jit.FileID) {
+	if j := c.jit; j != nil && j.Recording() {
+		return j, j.FileByBase(&store[0])
+	}
+	return nil, 0
+}
+
 // SaveSeq reads the sequence into store (store[slots[i]] = MRS(regs[i])).
 func (c *CPU) SaveSeq(seq *CtxSeq, store *[NumSysRegs]uint64) {
+	rec, fid := c.seqRec(store)
 	if c.el != EL2 || (seq.vheOnly && !c.Feat.VHE) {
 		for i, r := range seq.regs {
-			store[seq.slots[i]] = c.MRS(r)
+			v := c.MRS(r)
+			if rec != nil {
+				rec.FileWrite(fid, int(seq.slots[i]))
+			}
+			store[seq.slots[i]] = v
 		}
 		return
 	}
 	b := 0
-	if c.regs[HCR_EL2]&HCRE2H != 0 {
+	if c.hcrRead()&HCRE2H != 0 {
 		b = 1
 	}
 	for i, r := range seq.regs {
 		eff := effEL2[b][r]
 		c.cycles += c.Cost.SysReg
+		if rec != nil {
+			rec.FileWrite(fid, int(seq.slots[i]))
+		}
 		if c.devMask[eff] {
 			store[seq.slots[i]] = c.raw(eff, false, 0)
 			continue
 		}
+		c.regsTap.Read(int(eff))
 		store[seq.slots[i]] = c.regs[eff]
 	}
 }
 
 // LoadSeq writes the sequence from store (MSR(regs[i], store[slots[i]])).
 func (c *CPU) LoadSeq(seq *CtxSeq, store *[NumSysRegs]uint64) {
+	rec, fid := c.seqRec(store)
 	if c.el != EL2 || (seq.vheOnly && !c.Feat.VHE) {
 		for i, r := range seq.regs {
+			if rec != nil {
+				rec.FileRead(fid, int(seq.slots[i]))
+			}
 			c.MSR(r, store[seq.slots[i]])
 		}
 		return
 	}
 	b := 0
-	if c.regs[HCR_EL2]&HCRE2H != 0 {
+	if c.hcrRead()&HCRE2H != 0 {
 		b = 1
 	}
 	for i, r := range seq.regs {
 		eff := effEL2[b][r]
 		c.cycles += c.Cost.SysReg
+		if rec != nil {
+			rec.FileRead(fid, int(seq.slots[i]))
+		}
 		if c.devMask[eff] {
 			c.raw(eff, true, store[seq.slots[i]])
 			continue
 		}
+		c.regsTap.Write(int(eff))
 		c.regs[eff] = store[seq.slots[i]]
 	}
 }

@@ -49,6 +49,7 @@ func (h Harness) RunAblation(vhe bool) []AblationResult {
 	h.forEachCell(len(out), func(i int) {
 		spec := variants[i].Spec
 		spec.GuestVHE = vhe
+		spec.JITOff = h.JITOff
 		cycles, traps := hypercallCostWarm(cache, spec)
 		out[i] = AblationResult{Variant: variants[i].Name, VHE: vhe, Cycles: cycles, Traps: traps}
 	})

@@ -31,6 +31,10 @@ type Harness struct {
 	// outputs are byte-identical either way
 	// (TestSnapshotRestoreEquivalence); cold boots only cost wall time.
 	ColdBoot bool
+	// JITOff builds every ARM cell with the trace-JIT layer disabled. The
+	// measured outputs are byte-identical either way (TestJITGoldenEquiv);
+	// jit=off is the interpreted wall-time baseline.
+	JITOff bool
 }
 
 // Workers returns the effective worker count.

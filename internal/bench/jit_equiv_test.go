@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestJITGoldenEquiv is the trace-JIT correctness gate at the artifact
+// level: every measured table and figure must be byte-identical with the
+// JIT enabled (super-ops replaying hot trap sequences) and disabled (every
+// trap interpreted). The JIT may only change wall time, never a simulated
+// cycle, trap count, or event. harness.go's JITOff doc points here.
+func TestJITGoldenEquiv(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full suite sweeps")
+	}
+	on := Harness{}
+	off := Harness{JITOff: true}
+
+	onMicro := on.RunAllMicro()
+	offMicro := off.RunAllMicro()
+	artifacts := []struct {
+		name      string
+		got, want string
+	}{
+		{"table1", FormatTable1(onMicro), FormatTable1(offMicro)},
+		{"table6", FormatTable6(onMicro), FormatTable6(offMicro)},
+		{"table7", FormatTable7(onMicro), FormatTable7(offMicro)},
+		{"fig2", FormatFigure2(on.RunFigure2()), FormatFigure2(off.RunFigure2())},
+		{"ablation", FormatAblation(on.RunAblation(false)), FormatAblation(off.RunAblation(false))},
+	}
+	for _, a := range artifacts {
+		if a.got != a.want {
+			t.Errorf("%s differs jit-on vs jit-off\n--- jit-on\n%s--- jit-off\n%s", a.name, a.got, a.want)
+		}
+	}
+
+	// The jit-on sweep must actually have exercised the JIT, or the
+	// comparison above proves nothing.
+	var hits uint64
+	for _, c := range onMicro {
+		hits += c.JIT.Hits
+	}
+	if hits == 0 {
+		t.Fatalf("jit-on sweep recorded zero super-op hits")
+	}
+	// And the jit-off sweep must not have: JITOff is the interpreted
+	// baseline, so any dispatch counter there is a wiring bug.
+	for _, c := range offMicro {
+		if c.JIT.Hits|c.JIT.Misses|c.JIT.Bailouts != 0 {
+			t.Fatalf("jit-off cell %s/%s has dispatch counters %+v", c.Config, c.Op, c.JIT)
+		}
+	}
+}

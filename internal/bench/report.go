@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"github.com/nevesim/neve/internal/trace"
 )
 
 // Machine-readable performance report: `nevesim bench [-json]` times the
@@ -28,6 +30,11 @@ type SuiteStats struct {
 	// SimCyclesPerSec is the simulation speed in simulated cycles per
 	// wall-clock second.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	// JITHits/JITMisses/JITBailouts are the trace-JIT dispatch counters
+	// summed over the suite's cells (all zero with jit=off).
+	JITHits     uint64 `json:"jit_hits"`
+	JITMisses   uint64 `json:"jit_misses"`
+	JITBailouts uint64 `json:"jit_bailouts"`
 }
 
 // Report is the full performance report.
@@ -38,8 +45,11 @@ type Report struct {
 	Parallelism int `json:"parallelism"`
 	// ColdBoot marks a run with the warm-boot checkpoint cache disabled
 	// (every cell booted its stack from scratch).
-	ColdBoot bool         `json:"coldboot,omitempty"`
-	Suites   []SuiteStats `json:"suites"`
+	ColdBoot bool `json:"coldboot,omitempty"`
+	// JITOff marks a run with the trace-JIT layer disabled (the
+	// interpreted baseline the jit-on wall times are compared against).
+	JITOff bool         `json:"jit_off,omitempty"`
+	Suites []SuiteStats `json:"suites"`
 	// TotalWallMS is the wall time of the whole report run.
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -51,24 +61,29 @@ func (h Harness) RunBenchReport() Report {
 		Date:        time.Now().Format("2006-01-02"),
 		Parallelism: h.Workers(),
 		ColdBoot:    h.ColdBoot,
+		JITOff:      h.JITOff,
 	}
 	start := time.Now()
 
 	t0 := time.Now()
 	micro := h.RunAllMicro()
 	var microCycles uint64
+	var microJIT trace.JITStats
 	for _, c := range micro {
 		microCycles += c.Cycles
+		microJIT = microJIT.Add(c.JIT)
 	}
-	r.Suites = append(r.Suites, suiteStats("micro", time.Since(t0), len(micro), microCycles))
+	r.Suites = append(r.Suites, suiteStats("micro", time.Since(t0), len(micro), microCycles, microJIT))
 
 	t0 = time.Now()
 	apps := h.RunFigure2()
 	var appCycles uint64
+	var appJIT trace.JITStats
 	for _, c := range apps {
 		appCycles += c.Raw.Cycles
+		appJIT = appJIT.Add(c.JIT)
 	}
-	r.Suites = append(r.Suites, suiteStats("fig2", time.Since(t0), len(apps), appCycles))
+	r.Suites = append(r.Suites, suiteStats("fig2", time.Since(t0), len(apps), appCycles, appJIT))
 
 	r.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 	return r
@@ -77,12 +92,15 @@ func (h Harness) RunBenchReport() Report {
 // RunBenchReport times the suites with the default harness.
 func RunBenchReport() Report { return Harness{}.RunBenchReport() }
 
-func suiteStats(name string, wall time.Duration, cells int, simCycles uint64) SuiteStats {
+func suiteStats(name string, wall time.Duration, cells int, simCycles uint64, js trace.JITStats) SuiteStats {
 	st := SuiteStats{
-		Name:      name,
-		WallMS:    float64(wall.Microseconds()) / 1000,
-		Cells:     cells,
-		SimCycles: simCycles,
+		Name:        name,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		Cells:       cells,
+		SimCycles:   simCycles,
+		JITHits:     js.Hits,
+		JITMisses:   js.Misses,
+		JITBailouts: js.Bailouts,
 	}
 	// A clock too coarse to see the run (wall_ms == 0 — possible for a
 	// fully warm suite on a coarse-tick platform) yields zero rates, not
@@ -104,24 +122,29 @@ func (r Report) JSON() []byte {
 }
 
 // Filename returns the conventional BENCH_<date>.json name for the
-// report; cold-boot baselines get a -coldboot suffix so a warm report of
-// the same day never overwrites them.
+// report; cold-boot and jit-off baselines get a suffix so a default
+// report of the same day never overwrites them.
 func (r Report) Filename() string {
+	name := "BENCH_" + r.Date
 	if r.ColdBoot {
-		return "BENCH_" + r.Date + "-coldboot.json"
+		name += "-coldboot"
 	}
-	return "BENCH_" + r.Date + ".json"
+	if r.JITOff {
+		name += "-jitoff"
+	}
+	return name + ".json"
 }
 
 // FormatReport renders the report as human-readable text.
 func FormatReport(r Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulator performance report (%s, %d workers)\n", r.Date, r.Parallelism)
-	fmt.Fprintf(&b, "%-8s %10s %7s %12s %14s %16s\n",
-		"suite", "wall ms", "cells", "cells/sec", "sim cycles", "sim cyc/sec")
+	fmt.Fprintf(&b, "%-8s %10s %7s %12s %14s %16s %24s\n",
+		"suite", "wall ms", "cells", "cells/sec", "sim cycles", "sim cyc/sec", "jit hit/miss/bail")
 	for _, s := range r.Suites {
-		fmt.Fprintf(&b, "%-8s %10.1f %7d %12.1f %14d %16.0f\n",
-			s.Name, s.WallMS, s.Cells, s.CellsPerSec, s.SimCycles, s.SimCyclesPerSec)
+		fmt.Fprintf(&b, "%-8s %10.1f %7d %12.1f %14d %16.0f %24s\n",
+			s.Name, s.WallMS, s.Cells, s.CellsPerSec, s.SimCycles, s.SimCyclesPerSec,
+			fmt.Sprintf("%d/%d/%d", s.JITHits, s.JITMisses, s.JITBailouts))
 	}
 	fmt.Fprintf(&b, "total    %10.1f ms\n", r.TotalWallMS)
 	return b.String()

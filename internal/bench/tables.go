@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/nevesim/neve/internal/trace"
 	"github.com/nevesim/neve/internal/workload"
 )
 
@@ -34,6 +35,10 @@ type MicroResult struct {
 	Config ConfigID
 	Cycles uint64
 	Traps  uint64
+	// JIT holds the cell's trace-JIT dispatch counters (zero with jit=off
+	// or on x86). Simulator-side diagnostics only — never printed in the
+	// paper tables, which are byte-identical with and without the engine.
+	JIT trace.JITStats
 }
 
 // RunAllMicro measures every microbenchmark on the harness's
@@ -45,8 +50,8 @@ func (h Harness) RunAllMicro() []MicroResult {
 	out := make([]MicroResult, len(ops)*len(cfgs))
 	h.forEachCell(len(out), func(i int) {
 		op, cfg := ops[i/len(cfgs)], cfgs[i%len(cfgs)]
-		cyc, traps := runMicroWarm(cache, cfg, op)
-		out[i] = MicroResult{Op: op, Config: cfg, Cycles: cyc, Traps: traps}
+		cyc, traps, js := h.runMicroWarm(cache, cfg, op)
+		out[i] = MicroResult{Op: op, Config: cfg, Cycles: cyc, Traps: traps, JIT: js}
 	})
 	return out
 }
@@ -169,6 +174,9 @@ type AppResult struct {
 	Config   ConfigID
 	Overhead float64
 	Raw      workload.Result
+	// JIT holds the cell's trace-JIT dispatch counters (zero with jit=off
+	// or on x86).
+	JIT trace.JITStats
 }
 
 // RunFigure2 measures every application workload on the harness's
@@ -180,8 +188,8 @@ func (h Harness) RunFigure2() []AppResult {
 	out := make([]AppResult, len(profiles)*len(cfgs))
 	h.forEachCell(len(out), func(i int) {
 		p, cfg := profiles[i/len(cfgs)], cfgs[i%len(cfgs)]
-		ov, raw := runAppWarm(cache, cfg, p)
-		out[i] = AppResult{Workload: p.Name, Config: cfg, Overhead: ov, Raw: raw}
+		ov, raw, js := h.runAppWarm(cache, cfg, p)
+		out[i] = AppResult{Workload: p.Name, Config: cfg, Overhead: ov, Raw: raw, JIT: js}
 	})
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/nevesim/neve/internal/platform"
+	"github.com/nevesim/neve/internal/trace"
 	"github.com/nevesim/neve/internal/workload"
 )
 
@@ -80,44 +81,57 @@ func (c *warmCache) release(e *warmEntry) {
 }
 
 // benchSpec is the spec benchmark cells build: the registry configuration
-// with the benchmark CPU count.
-func benchSpec(id ConfigID) platform.Spec {
+// with the benchmark CPU count and the harness's JIT setting.
+func (h Harness) benchSpec(id ConfigID) platform.Spec {
 	spec := id.Spec()
 	spec.CPUs = 2
+	spec.JITOff = h.JITOff
 	return spec
 }
 
-// runMicroWarm is RunMicro through the cache (cold when cache is nil).
-func runMicroWarm(cache *warmCache, id ConfigID, op MicroOp) (cycles, traps uint64) {
+// runMicroWarm is RunMicro through the cache (cold when cache is nil),
+// also returning the cell's trace-JIT dispatch counters.
+func (h Harness) runMicroWarm(cache *warmCache, id ConfigID, op MicroOp) (cycles, traps uint64, js trace.JITStats) {
 	if cache == nil {
-		return RunMicro(id, op)
+		p := platform.MustBuild(h.benchSpec(id))
+		cycles, traps = RunMicroOn(p, op)
+		return cycles, traps, p.JITStats()
 	}
-	e := cache.acquire(benchSpec(id))
+	e := cache.acquire(h.benchSpec(id))
+	before := e.p.JITStats()
 	cycles, traps = RunMicroOn(e.p, op)
+	js = e.p.JITStats().Sub(before)
 	cache.release(e)
-	return cycles, traps
+	return cycles, traps, js
 }
 
-// runAppWarm is RunApp through the cache (cold when cache is nil).
-func runAppWarm(cache *warmCache, id ConfigID, p workload.Profile) (overhead float64, res workload.Result) {
-	if cache == nil {
-		return RunApp(id, p)
-	}
+// runAppWarm is RunApp through the cache (cold when cache is nil), also
+// returning the cell's trace-JIT dispatch counters.
+func (h Harness) runAppWarm(cache *warmCache, id ConfigID, p workload.Profile) (overhead float64, res workload.Result, js trace.JITStats) {
 	if !id.IsARM() {
 		p = p.Scaled(3)
 	}
 	native := &workload.Native{}
 	nres := p.Run(native, native, native)
 
-	e := cache.acquire(benchSpec(id))
+	var e *warmEntry
+	if cache == nil {
+		e = &warmEntry{p: platform.MustBuild(h.benchSpec(id))}
+	} else {
+		e = cache.acquire(h.benchSpec(id))
+	}
 	plat := e.p
+	before := plat.JITStats()
 	plat.PreparePeer()
 	plat.RunGuest(0, func(g platform.Guest) {
 		res = p.Run(g, g, plat)
 	})
-	cache.release(e)
+	js = plat.JITStats().Sub(before)
+	if cache != nil {
+		cache.release(e)
+	}
 	overhead = float64(res.Cycles) / float64(nres.Cycles)
-	return overhead, res
+	return overhead, res, js
 }
 
 // hypercallCostWarm is hypercallCost through the cache.

@@ -70,6 +70,9 @@ func (e Engine) Access(c *arm.CPU, r arm.SysReg, write bool, val *uint64) arm.NV
 }
 
 func pageAccess(c *arm.CPU, rule Rule, write bool, val *uint64) arm.NV2Outcome {
+	// The deferred access page lives in memory, which is outside the
+	// trace-JIT replay guard: poison any active recording.
+	c.JITPoison()
 	addr := Page{Base: BAddr(c.Reg(arm.VNCR_EL2))}.Slot(rule.Reg)
 	if write {
 		c.Mem.MustWrite64(addr, *val)

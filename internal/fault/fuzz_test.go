@@ -43,6 +43,22 @@ func runScript(t *testing.T, name string, data []byte) scriptResult {
 	spec := platform.MustLookup(name)
 	spec.MaxTraps = 500_000
 	spec.MaxSteps = 50_000_000
+	return runScriptSpec(t, spec, data)
+}
+
+// runScriptJIT is runScript with the trace-JIT layer explicitly on or
+// off and no watchdog budgets: budgets install trap hooks, which disable
+// the JIT at the trap site. Safe without a backstop — fuzz inputs are
+// capped at 128 operations, each of bounded work.
+func runScriptJIT(t *testing.T, name string, data []byte, jitOff bool) scriptResult {
+	t.Helper()
+	spec := platform.MustLookup(name)
+	spec.JITOff = jitOff
+	return runScriptSpec(t, spec, data)
+}
+
+func runScriptSpec(t *testing.T, spec platform.Spec, data []byte) scriptResult {
+	t.Helper()
 	p := platform.MustBuild(spec)
 	var res scriptResult
 	err := p.RunGuestErr(0, func(g platform.Guest) {
@@ -69,7 +85,7 @@ func runScript(t *testing.T, name string, data []byte) scriptResult {
 			case 4:
 				if !virtioUp {
 					if err := kg.VirtioInit(); err != nil {
-						t.Fatalf("%s: VirtioInit: %v", name, err)
+						t.Fatalf("%s: VirtioInit: %v", spec.Name, err)
 					}
 					virtioUp = true
 				}
@@ -91,7 +107,7 @@ func runScript(t *testing.T, name string, data []byte) scriptResult {
 	})
 	if err != nil {
 		if !errors.As(err, &res.err) {
-			t.Fatalf("%s: non-SimError failure: %v", name, err)
+			t.Fatalf("%s: non-SimError failure: %v", spec.Name, err)
 		}
 	}
 	res.traps = p.Trace().Total()
@@ -124,6 +140,24 @@ func FuzzDifferentialNVvsNEVE(f *testing.F) {
 			}
 			if name == "neve" && got.traps > nv.traps {
 				t.Fatalf("NEVE trapped more than NV: %d vs %d", got.traps, nv.traps)
+			}
+		}
+		// Trace-JIT oracle: the same input with super-ops replaying and
+		// with every trap interpreted must agree in all observables and
+		// trap counts. v8.3 is the heavy promoter; neve exercises the
+		// record/poison machinery (its world switch touches the deferred
+		// access page in RAM, so recordings rarely promote).
+		for _, name := range []string{"v8.3", "neve"} {
+			jon := runScriptJIT(t, name, data, false)
+			joff := runScriptJIT(t, name, data, true)
+			if jon.err != nil || joff.err != nil {
+				t.Fatalf("%s jit oracle died: on=%v off=%v", name, jon.err, joff.err)
+			}
+			if !reflect.DeepEqual(jon.obs, joff.obs) {
+				t.Fatalf("%s diverged jit-on vs jit-off:\n%v\nvs\n%v", name, jon.obs, joff.obs)
+			}
+			if jon.traps != joff.traps {
+				t.Fatalf("%s trap counts diverged jit-on vs jit-off: %d vs %d", name, jon.traps, joff.traps)
 			}
 		}
 	})

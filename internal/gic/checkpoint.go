@@ -28,4 +28,18 @@ func (d *Dist) Restore(cp *DistCheckpoint) {
 	d.active = cp.active
 	d.route = cp.route
 	d.ctlr = cp.ctlr
+	d.enabledW = pack(d.enabled[:jitINTIDs])
+	d.pendingW = pack(d.pending[:jitINTIDs])
+	d.activeW = pack(d.active[:jitINTIDs])
+	d.gen++
+}
+
+func pack(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
 }

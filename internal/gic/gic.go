@@ -67,9 +67,22 @@ type Dist struct {
 	enabled [NumINTIDs]bool
 	pending [NumINTIDs]bool
 	active  [NumINTIDs]bool
+	// enabledW/pendingW/activeW mirror the low jitINTIDs bits of the
+	// bool arrays as packed words, maintained by the set* funnels; the
+	// JIT state walk guards and restores the packed words instead of
+	// iterating the arrays (see jit.go).
+	enabledW uint64
+	pendingW uint64
+	activeW  uint64
 	// route is the target core for SPIs.
 	route [NumINTIDs]int
 	ctlr  uint32
+
+	// gen counts mutations the JIT state walk does not track
+	// word-for-word: routing changes and interrupt IDs at or above
+	// jitINTIDs. It is pinned as a walk shape word (see jit.go), so
+	// bumping it invalidates every compiled super-op.
+	gen uint64
 }
 
 // NewDist returns a distributor delivering to the given cores.
@@ -87,11 +100,16 @@ func (d *Dist) EnableAll() {
 	for i := range d.enabled {
 		d.enabled[i] = true
 	}
+	d.enabledW = ^uint64(0)
 	d.ctlr = 1
+	d.gen++
 }
 
 // Enable enables one interrupt.
-func (d *Dist) Enable(intid int) { d.enabled[d.check(intid)] = true }
+func (d *Dist) Enable(intid int) {
+	d.setEnabled(d.check(intid), true)
+	d.touch(intid)
+}
 
 // Route sets the target core of an SPI.
 func (d *Dist) Route(intid, cpu int) {
@@ -99,6 +117,7 @@ func (d *Dist) Route(intid, cpu int) {
 		panic(fmt.Sprintf("gic: Route of non-SPI %d", intid))
 	}
 	d.route[d.check(intid)] = cpu
+	d.gen++
 }
 
 func (d *Dist) check(intid int) int {
@@ -114,29 +133,31 @@ func (d *Dist) check(intid int) int {
 // latched pending.
 func (d *Dist) AssertSPI(intid int) {
 	d.check(intid)
+	d.touch(intid)
 	if intid < MinSPI {
 		panic(fmt.Sprintf("gic: AssertSPI of non-SPI %d", intid))
 	}
 	if !d.enabled[intid] {
-		d.pending[intid] = true
+		d.setPending(intid, true)
 		return
 	}
-	d.pending[intid] = true
+	d.setPending(intid, true)
 	d.deliver(d.route[intid], intid)
-	d.pending[intid] = false
+	d.setPending(intid, false)
 }
 
 // AssertPPI raises a private interrupt on one core (edge semantics, as
 // AssertSPI).
 func (d *Dist) AssertPPI(cpu, intid int) {
 	d.check(intid)
+	d.touch(intid)
 	if !d.enabled[intid] {
-		d.pending[intid] = true
+		d.setPending(intid, true)
 		return
 	}
-	d.pending[intid] = true
+	d.setPending(intid, true)
 	d.deliver(cpu, intid)
-	d.pending[intid] = false
+	d.setPending(intid, false)
 }
 
 // SendSGI raises a software-generated interrupt on the target core: the
@@ -145,7 +166,7 @@ func (d *Dist) SendSGI(targetCPU, intid int) {
 	if intid > MaxSGI {
 		panic(fmt.Sprintf("gic: SendSGI of non-SGI %d", intid))
 	}
-	d.pending[intid] = true
+	d.setPending(intid, true)
 	d.deliver(targetCPU, intid)
 }
 
@@ -159,8 +180,9 @@ func (d *Dist) deliver(cpu, intid int) {
 // Activate marks a delivered interrupt active (ack by the hypervisor).
 func (d *Dist) Activate(intid int) {
 	d.check(intid)
-	d.pending[intid] = false
-	d.active[intid] = true
+	d.touch(intid)
+	d.setPending(intid, false)
+	d.setActive(intid, true)
 }
 
 // Deactivate completes a physical interrupt. The virtual CPU interface
@@ -169,7 +191,8 @@ func (d *Dist) Activate(intid int) {
 // EOI path of Table 1).
 func (d *Dist) Deactivate(intid int) {
 	d.check(intid)
-	d.active[intid] = false
+	d.touch(intid)
+	d.setActive(intid, false)
 }
 
 // IsPending reports whether an interrupt is pending (tests, diagnostics).
@@ -205,14 +228,16 @@ func (d *Dist) Access(c *arm.CPU, pa mem.Addr, write bool, size int, val *uint64
 		base := int(off-RegISENABLER) * 8
 		for b := 0; b < 32 && base+b < NumINTIDs; b++ {
 			if *val&(1<<uint(b)) != 0 {
-				d.enabled[base+b] = true
+				d.setEnabled(base+b, true)
+				d.touch(base + b)
 			}
 		}
 	case off >= RegICENABLER && off < RegICENABLER+NumINTIDs/8:
 		base := int(off-RegICENABLER) * 8
 		for b := 0; b < 32 && base+b < NumINTIDs; b++ {
 			if *val&(1<<uint(b)) != 0 {
-				d.enabled[base+b] = false
+				d.setEnabled(base+b, false)
+				d.touch(base + b)
 			}
 		}
 	}

@@ -190,6 +190,15 @@ func checkpointVCPU(v *VCPU) vcpuCheckpoint {
 // restoring the boot checkpoint of a warm-boot pool entry allocates
 // nothing on the hot path.
 func (s *Stack) Restore(cp *StackCheckpoint) {
+	if s.jit != nil {
+		// Full invalidation, not just a Quiesce: super-op guards are value
+		// preconditions and would stay sound across the restore, but
+		// warm-boot pools share one boot checkpoint between cells running
+		// different workloads, and a cache of never-matching variants both
+		// costs a failed guard check per dispatch and exhausts the chain
+		// slots the new workload needs for its own recordings.
+		s.jit.Reset()
+	}
 	s.M.Restore(cp.machine)
 	n := 1
 	if s.GuestHyp != nil {

@@ -11,22 +11,35 @@
 // configured.
 package kvm
 
-import "github.com/nevesim/neve/internal/arm"
+import (
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/jit"
+)
 
 // Context is a saved system register context (one VM's EL1 state, a
 // hypervisor's virtual EL2 state, the host kernel's context).
 type Context struct {
 	regs [arm.NumSysRegs]uint64
+	// jt reports reads and writes to an installed trace-JIT engine so a
+	// recording guards only the context words it consumed instead of
+	// walking the whole file (nil, and free to check, until
+	// Stack.InstallJIT registers the file). Every access path to regs —
+	// Get, Set, and the batched sequences over file() — notifies it.
+	jt *jit.FileTap
 }
 
 // Get reads a saved register (alias encodings resolve to their target).
 func (ctx *Context) Get(r arm.SysReg) uint64 {
-	return ctx.regs[arm.StorageReg(r)]
+	i := arm.StorageReg(r)
+	ctx.jt.Read(int(i))
+	return ctx.regs[i]
 }
 
 // Set writes a saved register.
 func (ctx *Context) Set(r arm.SysReg, v uint64) {
-	ctx.regs[arm.StorageReg(r)] = v
+	i := arm.StorageReg(r)
+	ctx.jt.Write(int(i))
+	ctx.regs[i] = v
 }
 
 // file exposes the raw register file for bulk sequence transfers

@@ -274,16 +274,40 @@ func (h *Hypervisor) vmCtxSeq() *arm.CtxSeq {
 	return vmCtxSeqNonVHE
 }
 
+// runCtxSeq runs a batched context-switch sequence as a cycle-attribution
+// transaction. Deprivileged, every access in the sequence traps; a handler
+// that aborts mid-sequence by panicking (fault injection, the trap-storm
+// watchdog) unwinds through here with the partial sequence's cycle charges
+// already applied, and the recovery boundary then re-runs the world switch
+// — double-charging the aborted prefix. Rewinding to the mark on a
+// non-completing unwind makes the aborted attempt cost nothing, so
+// attribution totals match a run that never diverged.
+func runCtxSeq(c *arm.CPU, fn func()) {
+	m := c.MarkClock()
+	done := false
+	defer func() {
+		if !done {
+			c.RewindClock(m)
+		}
+	}()
+	fn()
+	done = true
+}
+
 // saveVMCtx saves the VM's EL1 context into the hypervisor's vcpu store.
 func (h *Hypervisor) saveVMCtx(c *arm.CPU, v *VCPU) {
-	c.SaveSeq(h.vmCtxSeq(), v.EL1.file())
-	c.MemOp(uint64(len(el1CtxRegs) + len(el0CtxRegs)))
+	runCtxSeq(c, func() {
+		c.SaveSeq(h.vmCtxSeq(), v.EL1.file())
+		c.MemOp(uint64(len(el1CtxRegs) + len(el0CtxRegs)))
+	})
 }
 
 // restoreVMCtx loads the VM's EL1 context onto the hardware.
 func (h *Hypervisor) restoreVMCtx(c *arm.CPU, v *VCPU) {
-	c.MemOp(uint64(len(el1CtxRegs) + len(el0CtxRegs)))
-	c.LoadSeq(h.vmCtxSeq(), v.EL1.file())
+	runCtxSeq(c, func() {
+		c.MemOp(uint64(len(el1CtxRegs) + len(el0CtxRegs)))
+		c.LoadSeq(h.vmCtxSeq(), v.EL1.file())
+	})
 }
 
 // restoreHostCtx / saveHostCtx switch the non-VHE build's host kernel EL1
@@ -291,13 +315,17 @@ func (h *Hypervisor) restoreVMCtx(c *arm.CPU, v *VCPU) {
 // guest hypervisor's own EL1 and must be intercepted (NV1 under ARMv8.3) or
 // deferred (NEVE).
 func (h *Hypervisor) restoreHostCtx(c *arm.CPU) {
-	c.MemOp(uint64(len(el1CtxRegs)))
-	c.LoadSeq(hostCtxSeq, h.hostCtx.file())
+	runCtxSeq(c, func() {
+		c.MemOp(uint64(len(el1CtxRegs)))
+		c.LoadSeq(hostCtxSeq, h.hostCtx.file())
+	})
 }
 
 func (h *Hypervisor) saveHostCtx(c *arm.CPU) {
-	c.SaveSeq(hostCtxSeq, h.hostCtx.file())
-	c.MemOp(uint64(len(el1CtxRegs)))
+	runCtxSeq(c, func() {
+		c.SaveSeq(hostCtxSeq, h.hostCtx.file())
+		c.MemOp(uint64(len(el1CtxRegs)))
+	})
 }
 
 // timerSave parks the VM's EL1 virtual timer and restores hypervisor timer

@@ -86,6 +86,58 @@ func TestGuestHypervisorStateSurvives(t *testing.T) {
 	}
 }
 
+func TestCtxSeqRollbackAttribution(t *testing.T) {
+	// A batched context-switch sequence that unwinds mid-way (fault
+	// injection or the trap-storm watchdog panicking out of a handler)
+	// must cost nothing: the recovery boundary re-runs the world switch,
+	// so any cycles the aborted prefix charged would be double-counted.
+	// This pins runCtxSeq's rewind-on-unwind against both the raw cycle
+	// counter and the per-level attribution.
+	s := NewVMStack(StackOptions{})
+	s.RunGuest(0, func(g *GuestCtx) { g.Hypercall() }) // settle attribution state
+	c := s.M.CPUs[0]
+	base := c.Cycles()
+	baseLevels := c.LevelCycles()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("sequence did not unwind")
+			}
+		}()
+		runCtxSeq(c, func() {
+			c.SaveSeq(hostCtxSeq, s.Host.hostCtx.file())
+			c.MemOp(uint64(len(el1CtxRegs)))
+			panic("mid-sequence divergence")
+		})
+	}()
+	if got := c.Cycles(); got != base {
+		t.Errorf("aborted sequence charged %d cycles", got-base)
+	}
+	if got := c.LevelCycles(); !slicesEqual(got, baseLevels) {
+		t.Errorf("aborted sequence moved attribution: %v -> %v", baseLevels, got)
+	}
+
+	// A completing sequence keeps exactly its own charges.
+	runCtxSeq(c, func() { c.MemOp(uint64(len(el1CtxRegs))) })
+	want := base + uint64(len(el1CtxRegs))*c.Cost.Mem
+	if got := c.Cycles(); got != want {
+		t.Errorf("completed sequence cycles = %d, want %d", got, want)
+	}
+}
+
+func slicesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestTrapReasonComposition(t *testing.T) {
 	// The 126 non-VHE traps decompose as modeled: mostly sysregs, exactly
 	// two erets (to its own host kernel and into the nested VM) and two

@@ -3,6 +3,7 @@ package kvm
 import (
 	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/core"
+	"github.com/nevesim/neve/internal/jit"
 	"github.com/nevesim/neve/internal/machine"
 	"github.com/nevesim/neve/internal/mem"
 )
@@ -21,6 +22,9 @@ type Stack struct {
 	// GuestHyp2 and L3VM are set for recursive stacks (Section 6.2).
 	GuestHyp2 *Hypervisor
 	L3VM      *VM
+
+	// jit is the trace-JIT engine, when installed (InstallJIT).
+	jit *jit.Engine
 }
 
 // StackOptions selects the stack configuration.

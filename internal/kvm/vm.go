@@ -197,6 +197,10 @@ func (g *GuestCtx) OnIRQ(fn func(intid int)) { g.irqHandler = fn }
 // through the hardware virtual CPU interface, runs its handler, and
 // completes the interrupt — without hypervisor involvement (Section 2).
 func (g *GuestCtx) HandleVIRQ(c *arm.CPU, intid int) {
+	// Delivery runs an arbitrary guest handler (workload closures whose
+	// captured state is outside the JIT walk), so a recording that reaches
+	// it cannot be promoted.
+	c.JITPoison()
 	got := c.MRS(arm.ICC_IAR1_EL1)
 	c.Work(40) // generic kernel IRQ entry/dispatch
 	g.IRQCount++

@@ -46,6 +46,11 @@ const UARTBase mem.Addr = 0x0900_0000
 // UART is a write-only console device, used by examples.
 type UART struct {
 	buf bytes.Buffer
+
+	// Tap, when non-nil, observes writes; the trace-JIT layer arms it
+	// while recording, since the output buffer is outside the replay
+	// guard. Reads are pure and stay recordable.
+	Tap func()
 }
 
 // Access implements Device.
@@ -54,6 +59,9 @@ func (u *UART) Access(c *arm.CPU, pa mem.Addr, write bool, size int, val *uint64
 		return false
 	}
 	if write {
+		if u.Tap != nil {
+			u.Tap()
+		}
 		u.buf.WriteByte(byte(*val))
 	} else {
 		*val = 0

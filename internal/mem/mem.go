@@ -87,6 +87,13 @@ type Memory struct {
 	allocNext Addr
 	// limit, if nonzero, bounds the highest addressable byte.
 	limit Addr
+
+	// Tap, when non-nil, observes every access (reads included) and every
+	// page allocation. The trace-JIT layer arms it while recording a trap
+	// sequence: memory contents are outside the replay guard, so any
+	// memory traffic makes the recording non-promotable. Nil in all
+	// normal runs; the access paths pay one nil check.
+	Tap func()
 }
 
 // New returns an empty memory. If limit is nonzero, accesses at or above
@@ -198,6 +205,9 @@ func (m *Memory) unshare(base Addr, old *page) *page {
 
 // Read64 reads a naturally aligned 64-bit little-endian value.
 func (m *Memory) Read64(a Addr) (uint64, error) {
+	if m.Tap != nil {
+		m.Tap()
+	}
 	if err := m.check(a, 8); err != nil {
 		return 0, err
 	}
@@ -215,6 +225,9 @@ func (m *Memory) Read64(a Addr) (uint64, error) {
 
 // Write64 writes a naturally aligned 64-bit little-endian value.
 func (m *Memory) Write64(a Addr, v uint64) error {
+	if m.Tap != nil {
+		m.Tap()
+	}
 	if err := m.check(a, 8); err != nil {
 		return err
 	}
@@ -231,6 +244,9 @@ func (m *Memory) Write64(a Addr, v uint64) error {
 
 // Read32 reads a naturally aligned 32-bit little-endian value.
 func (m *Memory) Read32(a Addr) (uint32, error) {
+	if m.Tap != nil {
+		m.Tap()
+	}
 	if err := m.check(a, 4); err != nil {
 		return 0, err
 	}
@@ -248,6 +264,9 @@ func (m *Memory) Read32(a Addr) (uint32, error) {
 
 // Write32 writes a naturally aligned 32-bit little-endian value.
 func (m *Memory) Write32(a Addr, v uint32) error {
+	if m.Tap != nil {
+		m.Tap()
+	}
 	if err := m.check(a, 4); err != nil {
 		return err
 	}
@@ -283,6 +302,9 @@ func (m *Memory) MustWrite64(a Addr, v uint64) {
 // handed out from a bump allocator starting at 1 MiB (leaving low memory
 // for fixed device windows in the machine model).
 func (m *Memory) AllocPage() Addr {
+	if m.Tap != nil {
+		m.Tap()
+	}
 	if m.allocNext == 0 {
 		m.allocNext = 1 << 20
 	}
@@ -302,6 +324,9 @@ func (m *Memory) AllocPage() Addr {
 
 // ZeroPage clears the page containing a.
 func (m *Memory) ZeroPage(a Addr) {
+	if m.Tap != nil {
+		m.Tap()
+	}
 	if p := m.page(a, false); p != nil {
 		if m.lastShared {
 			p = m.unshare(a.PageBase(), p)

@@ -35,6 +35,7 @@ func (t *TLB) Checkpoint() TLBCheckpoint {
 // Restore returns the TLB to a checkpointed state. The geometry (ways,
 // sets) is fixed at construction and must match.
 func (t *TLB) Restore(cp TLBCheckpoint) {
+	t.gen++
 	copy(t.slots, cp.slots)
 	copy(t.next, cp.next)
 	t.live = cp.live

@@ -23,6 +23,19 @@ type TLB struct {
 	live   int
 	hits   uint64
 	misses uint64
+	// gen counts mutations (inserts, flushes, restores). The replay
+	// engine compares it against the value seen when a super-op's TLB
+	// probes were last validated: an unchanged generation proves every
+	// cached translation is intact without re-probing them.
+	gen uint64
+
+	// OnLookup and OnMutate, when non-nil, observe Lookup outcomes and
+	// TLB mutations. The trace-JIT layer arms them while recording: each
+	// hit becomes a replay-guard probe, and any miss or mutation makes
+	// the recording non-promotable (a walk or eviction cannot be
+	// replayed). Nil in all normal runs.
+	OnLookup func(vmid uint16, ia, pa mem.Addr, perm Perm, hit bool)
+	OnMutate func()
 }
 
 // tlbWays is the associativity of capacities above tlbWays entries;
@@ -75,17 +88,50 @@ func (t *TLB) Lookup(vmid uint16, ia mem.Addr) (mem.Addr, Perm, bool) {
 		e := &set[i]
 		if e.valid && e.vmid == vmid && e.iaPage == iaPage {
 			t.hits++
-			return e.oaPage + mem.Addr(ia.PageOff()), e.perm, true
+			pa := e.oaPage + mem.Addr(ia.PageOff())
+			if t.OnLookup != nil {
+				t.OnLookup(vmid, ia, pa, e.perm, true)
+			}
+			return pa, e.perm, true
 		}
 	}
 	t.misses++
+	if t.OnLookup != nil {
+		t.OnLookup(vmid, ia, 0, 0, false)
+	}
 	return 0, 0, false
 }
+
+// Probe looks up a translation without counting statistics or invoking the
+// observation hooks: the replay engine's guard check. Lookup does not
+// mutate replacement state on a hit, so probing is side-effect free.
+func (t *TLB) Probe(vmid uint16, ia mem.Addr) (mem.Addr, Perm, bool) {
+	iaPage := ia.PageBase()
+	set := t.set(vmid, iaPage)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vmid == vmid && e.iaPage == iaPage {
+			return e.oaPage + mem.Addr(ia.PageOff()), e.perm, true
+		}
+	}
+	return 0, 0, false
+}
+
+// AddHits back-fills hit statistics for lookups a super-op replay skipped,
+// keeping TLB stats identical between interpreted and replayed execution.
+func (t *TLB) AddHits(n uint64) { t.hits += n }
+
+// Gen returns the mutation generation counter.
+func (t *TLB) Gen() uint64 { return t.gen }
 
 // Insert caches a translation. An existing entry for the page is updated
 // in place; otherwise the entry fills a free way, or evicts the set's FIFO
 // victim when the set is full.
 func (t *TLB) Insert(vmid uint16, ia, oa mem.Addr, perm Perm) {
+	t.gen++
+	if t.OnMutate != nil {
+		t.OnMutate()
+	}
 	iaPage := ia.PageBase()
 	h := (uint64(iaPage) >> mem.PageShift) ^ uint64(vmid)
 	s := int(h & t.setMask)
@@ -118,6 +164,10 @@ func (t *TLB) Insert(vmid uint16, ia, oa mem.Addr, perm Perm) {
 
 // FlushVMID invalidates all entries tagged with vmid (TLBI VMALLS12E1).
 func (t *TLB) FlushVMID(vmid uint16) {
+	t.gen++
+	if t.OnMutate != nil {
+		t.OnMutate()
+	}
 	for i := range t.slots {
 		if t.slots[i].valid && t.slots[i].vmid == vmid {
 			t.slots[i] = tlbSlot{}
@@ -128,6 +178,10 @@ func (t *TLB) FlushVMID(vmid uint16) {
 
 // FlushPage invalidates one page's entry (TLBI IPAS2E1).
 func (t *TLB) FlushPage(vmid uint16, ia mem.Addr) {
+	t.gen++
+	if t.OnMutate != nil {
+		t.OnMutate()
+	}
 	iaPage := ia.PageBase()
 	set := t.set(vmid, iaPage)
 	for i := range set {
@@ -141,6 +195,10 @@ func (t *TLB) FlushPage(vmid uint16, ia mem.Addr) {
 
 // FlushAll invalidates everything (TLBI ALLE1).
 func (t *TLB) FlushAll() {
+	t.gen++
+	if t.OnMutate != nil {
+		t.OnMutate()
+	}
 	for i := range t.slots {
 		t.slots[i] = tlbSlot{}
 	}

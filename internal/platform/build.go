@@ -59,6 +59,9 @@ type Platform interface {
 	// LevelCycles returns core i's per-level cycle attribution (0 = host
 	// hypervisor, 1 = guest hypervisor or VM, ...).
 	LevelCycles(i int) []uint64
+	// JITStats returns the trace-JIT hit/miss/bailout counters (zero when
+	// the engine is not installed — x86, or a self-disabled configuration).
+	JITStats() trace.JITStats
 	// ARM returns the underlying ARM stack, or nil on x86 platforms.
 	ARM() *kvm.Stack
 	// X86 returns the underlying x86 stack, or nil on ARM platforms.
@@ -136,6 +139,14 @@ func buildARM(spec Spec) *armPlatform {
 		s = kvm.NewRecursiveStack(opts)
 	}
 	s.M.Dist.Route(NICSPI, 0)
+	// The trace-JIT layer is on by default but only where it cannot be
+	// observed: trap recording, fault injection, and watchdog budgets all
+	// need to see every interpreted trap, so those configurations run
+	// without the engine.
+	if !spec.JITOff && !spec.RecordTrace && !spec.Faults.Active() &&
+		spec.MaxTraps == 0 && spec.MaxSteps == 0 {
+		s.InstallJIT(spec.JITThreshold)
+	}
 	p := &armPlatform{spec: spec, s: s}
 	p.installFaults()
 	return p
@@ -188,6 +199,8 @@ func (p *armPlatform) X86() *x86.Stack { return nil }
 
 func (p *armPlatform) Trace() *trace.Collector { return p.s.M.Trace }
 
+func (p *armPlatform) JITStats() trace.JITStats { return p.s.JITStats() }
+
 func (p *armPlatform) RunGuest(i int, fn func(g Guest)) {
 	p.s.RunGuest(i, func(g *kvm.GuestCtx) { fn(g) })
 }
@@ -235,6 +248,8 @@ func (p *x86Platform) ARM() *kvm.Stack { return nil }
 func (p *x86Platform) X86() *x86.Stack { return p.s }
 
 func (p *x86Platform) Trace() *trace.Collector { return p.s.Trace }
+
+func (p *x86Platform) JITStats() trace.JITStats { return trace.JITStats{} }
 
 func (p *x86Platform) RunGuest(i int, fn func(g Guest)) {
 	p.s.RunGuest(i, func(g *x86.GuestCtx) { fn(g) })

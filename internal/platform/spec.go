@@ -142,6 +142,15 @@ type Spec struct {
 	// attachments like Faults.
 	MaxTraps uint64
 	MaxSteps uint64
+	// JITOff disables the trace-JIT layer (internal/jit), which is on by
+	// default for plain ARM runs: hot trap sequences are compiled into
+	// super-ops and replayed with byte-identical observable output. The
+	// layer self-disables (regardless of this axis) when trap recording,
+	// fault injection, or a watchdog is attached.
+	JITOff bool
+	// JITThreshold is how many sightings of a trap trigger a super-op
+	// recording; 0 selects the engine default.
+	JITThreshold int
 }
 
 // featOrDefault resolves FeatDefault against the NEVE axis.
@@ -179,6 +188,12 @@ func (s Spec) Validate() error {
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("platform: %w", err)
+	}
+	if s.JITThreshold < 0 {
+		return fmt.Errorf("platform: negative JIT threshold %d", s.JITThreshold)
+	}
+	if s.JITOff && s.JITThreshold != 0 {
+		return fmt.Errorf("platform: jit=off and a JIT threshold are mutually exclusive")
 	}
 	if s.Arch == X86 {
 		return s.validateX86(nesting)
@@ -304,6 +319,11 @@ func (s Spec) Axes() string {
 			on = append(on, "none")
 		}
 		parts = append(parts, "ablation="+strings.Join(on, "+"))
+	}
+	if s.JITOff {
+		parts = append(parts, "jit=off")
+	} else if s.JITThreshold != 0 {
+		parts = append(parts, fmt.Sprintf("jit=%d", s.JITThreshold))
 	}
 	if s.CPUs != 0 {
 		parts = append(parts, fmt.Sprintf("cpus=%d", s.CPUs))

@@ -59,8 +59,12 @@ func (t *Timer) SysRegClaims() []arm.SysReg {
 func (t *Timer) SysRegRead(c *arm.CPU, r arm.SysReg) (uint64, bool) {
 	switch r {
 	case arm.CNTPCT_EL0:
+		// Counter reads observe the live clock, which a super-op replay
+		// cannot reproduce: poison any active JIT recording.
+		c.JITPoison()
 		return c.Cycles(), true
 	case arm.CNTVCT_EL0:
+		c.JITPoison()
 		return c.Cycles() - c.Reg(arm.CNTVOFF_EL2), true
 	}
 	return 0, false
@@ -106,6 +110,14 @@ func (t *Timer) Check(c *arm.CPU) {
 			cnt -= c.Reg(arm.CNTVOFF_EL2)
 		}
 		cval := c.Reg(l.cval)
+		if ctl&CtlEnable != 0 {
+			// An enabled line's evaluation depends on the live counter
+			// (expired here may be not-expired at replay time, and vice
+			// versa), so it cannot be part of a super-op. Disabled lines
+			// — the world-switch save path parks timers disabled — are
+			// pure and stay recordable.
+			c.JITPoison()
+		}
 		expired := ctl&CtlEnable != 0 && cnt >= cval
 		if expired {
 			c.SetReg(l.ctl, ctl|CtlIStat)

@@ -44,6 +44,7 @@ func (c *Collector) Checkpoint() CollectorCheckpoint {
 // reused: restoring into the collector the checkpoint came from performs
 // no allocation once the event slice has reached its high-water mark.
 func (c *Collector) Restore(cp CollectorCheckpoint) {
+	c.gen++
 	c.events = append(c.events[:0], cp.events...)
 	c.byReason = cp.byReason
 	copy(c.dense, cp.dense)

@@ -250,6 +250,17 @@ type Collector struct {
 	recent      []Event
 	recentNext  int
 	recentTotal uint64
+
+	// Counter-log state (see jit.go). While logging, Trap appends each
+	// counter location it increments so a recording's delta costs
+	// O(increments) instead of a full-counter snapshot and diff; gen is
+	// bumped by Reset and Restore, invalidating a log they interrupt.
+	logging  bool
+	logGen   uint64
+	gen      uint64
+	tReasons []Reason
+	tDense   []int32
+	tSparse  []addrKey
 }
 
 // NewCollector returns a counting collector. If recordEvents is true the
@@ -282,6 +293,9 @@ func (c *Collector) Trap(ev Event) {
 	inRange := ev.Reason >= 0 && ev.Reason < numReasons
 	if inRange {
 		c.byReason[ev.Reason]++
+		if c.logging {
+			c.tReasons = append(c.tReasons, ev.Reason)
+		}
 	}
 	if d := &denseInfo[densify(ev.Reason)]; inRange && d.ok && d.arch == ev.Arch && d.code == ev.Code && ev.Aux < denseAux {
 		idx := (int(ev.Reason)*2)*denseAux + int(ev.Aux)
@@ -289,8 +303,15 @@ func (c *Collector) Trap(ev Event) {
 			idx += denseAux
 		}
 		c.dense[idx]++
+		if c.logging {
+			c.tDense = append(c.tDense, int32(idx))
+		}
 	} else {
-		c.sparse[addrKey{ev.Key(), ev.Addr}]++
+		k := addrKey{ev.Key(), ev.Addr}
+		c.sparse[k]++
+		if c.logging {
+			c.tSparse = append(c.tSparse, k)
+		}
 	}
 	if c.record {
 		c.events = append(c.events, ev)
@@ -434,6 +455,7 @@ func (c *Collector) Events() []Event {
 // sparse map are retained and reused, so a long sweep of Reset/measure
 // rounds reaches a steady state with no per-round allocation.
 func (c *Collector) Reset() {
+	c.gen++
 	c.events = c.events[:0]
 	c.byReason = [numReasons]uint64{}
 	clear(c.dense)
