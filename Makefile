@@ -7,7 +7,7 @@
 GO ?= go
 EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke jit-equiv-smoke profile
+.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke jit-equiv-smoke smp-race profile
 
 FUZZ_TARGETS := FuzzDifferentialNVvsNEVE FuzzFaultPlanRecovery FuzzParsePlan
 FUZZTIME ?= 10s
@@ -50,7 +50,15 @@ fuzz-smoke:
 		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) ./internal/fault/ || exit 1; \
 	done
 
-ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke jit-equiv-smoke
+ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke jit-equiv-smoke smp-race
+
+# SMP engine gate: the epoch-lockstep tests under the race detector (the
+# parallel mode's happens-before edges are the whole design), plus the
+# registry-wide byte-equivalence sweep — parallel vCPU execution must
+# match sequential exactly on every ARM configuration.
+smp-race:
+	$(GO) test -race ./internal/kvm -run SMP
+	$(GO) test ./internal/bench -run SMPEquivalence
 
 # Trace-JIT correctness smoke: the figure 2 measured table (deterministic,
 # no wall times) must be byte-identical with super-ops replaying (-jit=on)

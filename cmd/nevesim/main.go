@@ -14,6 +14,11 @@
 //	nevesim bench      time the suites; -json writes BENCH_<date>.json,
 //	                   -coldboot disables the warm-boot checkpoint cache,
 //	                   -cpuprofile/-memprofile capture pprof profiles
+//	nevesim smp        SMP scale-out sweep (epoch-lockstep engine):
+//	                   sequential vs parallel vCPU execution per cell with
+//	                   the byte-equivalence verdict; -json writes
+//	                   BENCH_<date>-smp.json, -cpus N restricts the sweep
+//	                   to configurations of that machine width
 //	nevesim run        microbenchmark one configuration: -config <name|axes>;
 //	                   -faults <plan> injects seeded faults, -max-traps/
 //	                   -max-steps attach watchdog budgets (non-zero exit
@@ -45,7 +50,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nevesim [-parallel N] [table1|table6|table7|table8|fig2|events|trapcost|ablation|optvhe|recursive|bench|run|all]")
+	fmt.Fprintln(os.Stderr, "usage: nevesim [-parallel N] [table1|table6|table7|table8|fig2|events|trapcost|ablation|optvhe|recursive|bench|smp|run|all]")
 	os.Exit(2)
 }
 
@@ -87,6 +92,8 @@ func main() {
 		recursive()
 	case "bench":
 		benchReport(h, flag.Args()[1:])
+	case "smp":
+		smpReport(h, flag.Args()[1:])
 	case "run":
 		runConfig(flag.Args()[1:])
 	case "all":
@@ -166,6 +173,58 @@ func benchReport(h bench.Harness, args []string) {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", name)
+	}
+}
+
+// smpReport runs the SMP scale-out sweep (internal/bench RunSMPSweep):
+// every cell sequential then parallel on the epoch-lockstep engine, with
+// the byte-equivalence verdict per cell. -cpus restricts the sweep to
+// registry configurations of that machine width; -json writes
+// BENCH_<date>-smp.json for cross-PR tracking via benchdiff's
+// -smp-threshold. Exits non-zero if any cell diverges — the sweep doubles
+// as a determinism gate, not just a benchmark.
+func smpReport(h bench.Harness, args []string) {
+	fs := flag.NewFlagSet("smp", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "write BENCH_<date>-smp.json")
+	cpus := fs.Int("cpus", 0, "restrict the sweep to configurations with this vCPU count (0 = all)")
+	fs.Parse(args)
+	specs := bench.SMPSweepSpecs()
+	if *cpus != 0 {
+		var kept []string
+		for _, name := range specs {
+			if platform.MustLookup(name).CPUs == *cpus {
+				kept = append(kept, name)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "nevesim smp: no sweep configuration has %d vCPUs (widths:", *cpus)
+			for _, name := range specs {
+				fmt.Fprintf(os.Stderr, " %d", platform.MustLookup(name).CPUs)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			os.Exit(2)
+		}
+		specs = kept
+	}
+	r := h.RunSMPReportFor(specs)
+	fmt.Print(bench.FormatSMPReport(r))
+	diverged := false
+	for _, c := range r.SMPCells {
+		if !c.Identical {
+			fmt.Fprintf(os.Stderr, "nevesim smp: %s/%s parallel run diverged from sequential\n", c.Config, c.Profile)
+			diverged = true
+		}
+	}
+	if *jsonOut {
+		name := r.Filename()
+		if err := os.WriteFile(name, r.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "nevesim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", name)
+	}
+	if diverged {
+		os.Exit(1)
 	}
 }
 

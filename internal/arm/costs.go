@@ -42,6 +42,13 @@ type CostModel struct {
 	// IPIWire is the hardware propagation delay of a physical
 	// inter-processor interrupt between cores.
 	IPIWire uint64
+	// DistContention is the serialization penalty at the GIC distributor:
+	// when several cores' interrupt transactions (SGI/SPI writes) land in
+	// the same epoch, the k-th transaction queues behind the k-1 earlier
+	// ones and its initiator is charged k*DistContention extra cycles. The
+	// SMP epoch engine charges it at epoch barriers; nothing else reads it,
+	// so single-stream runs are unaffected.
+	DistContention uint64
 }
 
 // DefaultCosts returns the calibration used for all experiments.
@@ -57,5 +64,6 @@ func DefaultCosts() *CostModel {
 		Insn:           1,
 		ExcEnterEL1:    60,
 		IPIWire:        180,
+		DistContention: 40,
 	}
 }

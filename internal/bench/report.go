@@ -48,8 +48,13 @@ type Report struct {
 	ColdBoot bool `json:"coldboot,omitempty"`
 	// JITOff marks a run with the trace-JIT layer disabled (the
 	// interpreted baseline the jit-on wall times are compared against).
-	JITOff bool         `json:"jit_off,omitempty"`
-	Suites []SuiteStats `json:"suites"`
+	JITOff bool `json:"jit_off,omitempty"`
+	// SMP marks a report of the SMP scale-out sweep: suites are the
+	// sweep's cells (named smp-<profile>-<vcpus>), timed by their
+	// parallel runs, and SMPCells carries the per-cell detail.
+	SMP      bool         `json:"smp,omitempty"`
+	SMPCells []SMPCell    `json:"smp_cells,omitempty"`
+	Suites   []SuiteStats `json:"suites"`
 	// TotalWallMS is the wall time of the whole report run.
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -92,6 +97,46 @@ func (h Harness) RunBenchReport() Report {
 // RunBenchReport times the suites with the default harness.
 func RunBenchReport() Report { return Harness{}.RunBenchReport() }
 
+// RunSMPReport times the SMP scale-out sweep: one suite entry per cell,
+// with the parallel run's wall time as the tracked number (a vCPU-scaling
+// regression in the engine shows up here and fails benchdiff's smp
+// threshold).
+func (h Harness) RunSMPReport() Report { return h.RunSMPReportFor(SMPSweepSpecs()) }
+
+// RunSMPReportFor times the sweep restricted to the named registry
+// configs.
+func (h Harness) RunSMPReportFor(names []string) Report {
+	r := Report{
+		Date:        time.Now().Format("2006-01-02"),
+		Parallelism: h.Workers(),
+		SMP:         true,
+	}
+	start := time.Now()
+	r.SMPCells = h.RunSMPSweepFor(names)
+	for _, c := range r.SMPCells {
+		name := fmt.Sprintf("smp-%s-%d", c.Profile, c.VCPUs)
+		wall := time.Duration(c.ParWallMS * float64(time.Millisecond))
+		r.Suites = append(r.Suites, suiteStats(name, wall, c.VCPUs, c.VClock, trace.JITStats{}))
+	}
+	r.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+	return r
+}
+
+// FormatSMPReport renders the sweep as human-readable text.
+func FormatSMPReport(r Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMP scale-out report (%s)\n", r.Date)
+	fmt.Fprintf(&b, "%-8s %-10s %6s %10s %10s %9s %10s %8s %10s %6s\n",
+		"config", "profile", "vcpus", "seq ms", "par ms", "speedup", "epochs", "distops", "contention", "ident")
+	for _, c := range r.SMPCells {
+		fmt.Fprintf(&b, "%-8s %-10s %6d %10.2f %10.2f %8.2fx %10d %8d %10d %6v\n",
+			c.Config, c.Profile, c.VCPUs, c.SeqWallMS, c.ParWallMS, c.SpeedupX,
+			c.Epochs, c.DistOps, c.Contention, c.Identical)
+	}
+	fmt.Fprintf(&b, "total    %10.1f ms\n", r.TotalWallMS)
+	return b.String()
+}
+
 func suiteStats(name string, wall time.Duration, cells int, simCycles uint64, js trace.JITStats) SuiteStats {
 	st := SuiteStats{
 		Name:        name,
@@ -131,6 +176,9 @@ func (r Report) Filename() string {
 	}
 	if r.JITOff {
 		name += "-jitoff"
+	}
+	if r.SMP {
+		name += "-smp"
 	}
 	return name + ".json"
 }

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/nevesim/neve/internal/kvm"
+	"github.com/nevesim/neve/internal/platform"
+	"github.com/nevesim/neve/internal/workload"
+)
+
+// The SMP scale-out sweep: the multi-vCPU workloads (internal/workload
+// SMPProfiles) on the registry's smp configurations, each cell run twice —
+// sequential and parallel epochs — so the report carries both the
+// wall-clock speedup and the byte-equivalence verdict. Cells run one at a
+// time: each parallel cell already fans out one goroutine per vCPU, so
+// stacking cell-level workers on top would oversubscribe the host
+// (effective parallelism is min(vCPUs, host cores) per cell, not
+// Workers()).
+
+// SMPSweepSpecs are the registry configurations of the scale-out sweep.
+func SMPSweepSpecs() []string { return []string{"smp8", "smp16", "smp64"} }
+
+// SMPCell is one (configuration x profile) measurement of the sweep.
+type SMPCell struct {
+	// Config is the registry spec name; VCPUs its machine width.
+	Config  string `json:"config"`
+	Profile string `json:"profile"`
+	VCPUs   int    `json:"vcpus"`
+	// SeqWallMS/ParWallMS are the wall-clock times of the sequential and
+	// parallel runs; SpeedupX is their ratio (>1 = parallel faster).
+	SeqWallMS float64 `json:"seq_wall_ms"`
+	ParWallMS float64 `json:"par_wall_ms"`
+	SpeedupX  float64 `json:"speedup_x"`
+	// Identical is the equivalence gate: the parallel run produced
+	// byte-identical per-CPU cycles, trap totals, and engine statistics.
+	Identical bool `json:"identical"`
+	// Parallel reports whether the parallel run actually ran concurrent
+	// epochs (false = the engine fell back to sequential).
+	Parallel bool `json:"parallel"`
+	// Engine statistics (identical across both runs when Identical).
+	Epochs     uint64 `json:"epochs"`
+	VClock     uint64 `json:"vclock"`
+	DistOps    uint64 `json:"dist_ops"`
+	Contention uint64 `json:"contention"`
+}
+
+// smpPrograms adapts a workload SMP profile to the kvm engine.
+func smpPrograms(p workload.SMPProfile, n int) []func(g *kvm.SMPGuest) {
+	progs := p.Programs(n)
+	out := make([]func(g *kvm.SMPGuest), n)
+	for i, prog := range progs {
+		prog := prog
+		out[i] = func(g *kvm.SMPGuest) { prog(g) }
+	}
+	return out
+}
+
+// smpFingerprint captures everything the equivalence gate compares.
+type smpFingerprint struct {
+	stats  kvm.SMPStats
+	cycles []uint64
+	traps  uint64
+}
+
+func runSMPCell(spec platform.Spec, p workload.SMPProfile, parallel bool) (smpFingerprint, time.Duration) {
+	s := platform.MustBuild(spec).ARM()
+	n := len(s.M.CPUs)
+	progs := smpPrograms(p, n)
+	start := time.Now()
+	stats := s.RunSMPOpts(progs, kvm.SMPOptions{Parallel: parallel})
+	wall := time.Since(start)
+	fp := smpFingerprint{stats: stats, traps: s.M.Trace.Total()}
+	for _, c := range s.M.CPUs {
+		fp.cycles = append(fp.cycles, c.Cycles())
+	}
+	return fp, wall
+}
+
+// equivalent reports whether two runs are byte-identical modulo the
+// execution-mode flag.
+func (a smpFingerprint) equivalent(b smpFingerprint) bool {
+	as, bs := a.stats, b.stats
+	as.Parallel, bs.Parallel = false, false
+	if as != bs || a.traps != b.traps || len(a.cycles) != len(b.cycles) {
+		return false
+	}
+	for i := range a.cycles {
+		if a.cycles[i] != b.cycles[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSMPSweep measures every sweep cell, sequential then parallel, on
+// fresh stacks.
+func (h Harness) RunSMPSweep() []SMPCell { return h.RunSMPSweepFor(SMPSweepSpecs()) }
+
+// RunSMPSweepFor measures the sweep cells of the named registry configs
+// only (cmd/nevesim's -cpus filter).
+func (h Harness) RunSMPSweepFor(names []string) []SMPCell {
+	var out []SMPCell
+	for _, name := range names {
+		spec := platform.MustLookup(name)
+		for _, p := range workload.SMPProfiles() {
+			seq, seqWall := runSMPCell(spec, p, false)
+			par, parWall := runSMPCell(spec, p, true)
+			cell := SMPCell{
+				Config:     name,
+				Profile:    p.Name,
+				VCPUs:      len(seq.cycles),
+				SeqWallMS:  float64(seqWall.Microseconds()) / 1000,
+				ParWallMS:  float64(parWall.Microseconds()) / 1000,
+				Identical:  seq.equivalent(par),
+				Parallel:   par.stats.Parallel,
+				Epochs:     par.stats.Epochs,
+				VClock:     par.stats.VClock,
+				DistOps:    par.stats.DistOps,
+				Contention: par.stats.Contention,
+			}
+			if parWall > 0 {
+				cell.SpeedupX = seqWall.Seconds() / parWall.Seconds()
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package gic
+
+// EpochQueue collects the distributor transactions (SGI sends) that the SMP
+// epoch engine's vCPUs issue during one parallel epoch. The real GICv3
+// distributor is a single serialization point: concurrent SGI writes from
+// several cores queue inside it and complete one at a time. The engine
+// models that by letting each vCPU append to its own lane race-free during
+// the epoch, then merging all lanes at the epoch barrier in vCPU order —
+// the k-th transaction merged in an epoch is charged k extra units of
+// distributor contention by the caller.
+type EpochQueue struct {
+	lanes [][]SGI
+	ops   uint64
+}
+
+// SGI is one queued software-generated interrupt: a distributor transaction
+// initiated by a guest ICC_SGI1R_EL1 write.
+type SGI struct {
+	Target int // destination vCPU index
+	INTID  int
+}
+
+// NewEpochQueue builds a queue with one lane per vCPU.
+func NewEpochQueue(vcpus int) *EpochQueue {
+	return &EpochQueue{lanes: make([][]SGI, vcpus)}
+}
+
+// Push appends a transaction to the sender's lane. Only the sender's
+// goroutine touches its lane during an epoch, so Push needs no locking.
+func (q *EpochQueue) Push(sender int, s SGI) {
+	q.lanes[sender] = append(q.lanes[sender], s)
+}
+
+// Empty reports whether any lane holds a pending transaction.
+func (q *EpochQueue) Empty() bool {
+	for _, l := range q.lanes {
+		if len(l) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain visits every queued transaction in deterministic merge order —
+// sender-major (vCPU order), then issue order within a sender — passing fn
+// the serialization position k (0-based count of transactions already
+// merged this epoch), and clears the lanes.
+func (q *EpochQueue) Drain(fn func(sender int, s SGI, k int)) {
+	k := 0
+	for sender, lane := range q.lanes {
+		for _, s := range lane {
+			fn(sender, s, k)
+			k++
+			q.ops++
+		}
+		q.lanes[sender] = lane[:0]
+	}
+}
+
+// Ops returns the total transactions drained over the queue's lifetime.
+func (q *EpochQueue) Ops() uint64 { return q.ops }

@@ -1,0 +1,47 @@
+package gic
+
+import "testing"
+
+func TestEpochQueueMergeOrder(t *testing.T) {
+	q := NewEpochQueue(3)
+	if !q.Empty() {
+		t.Fatal("fresh queue not empty")
+	}
+	// Issue out of vCPU order: the merge must still be sender-major.
+	q.Push(2, SGI{Target: 0, INTID: 1})
+	q.Push(0, SGI{Target: 1, INTID: 2})
+	q.Push(0, SGI{Target: 2, INTID: 3})
+	if q.Empty() {
+		t.Fatal("queue with pending transactions reports empty")
+	}
+	var senders, ks []int
+	q.Drain(func(sender int, s SGI, k int) {
+		senders = append(senders, sender)
+		ks = append(ks, k)
+	})
+	wantSenders := []int{0, 0, 2}
+	wantKs := []int{0, 1, 2}
+	for i := range wantSenders {
+		if senders[i] != wantSenders[i] || ks[i] != wantKs[i] {
+			t.Fatalf("merge order: senders=%v ks=%v", senders, ks)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("drained queue not empty")
+	}
+	if q.Ops() != 3 {
+		t.Fatalf("Ops = %d, want 3", q.Ops())
+	}
+	// Lanes are reusable across epochs.
+	q.Push(1, SGI{Target: 0, INTID: 4})
+	n := 0
+	q.Drain(func(sender int, s SGI, k int) {
+		if sender != 1 || k != 0 || s.INTID != 4 {
+			t.Fatalf("second epoch: sender=%d k=%d s=%+v", sender, k, s)
+		}
+		n++
+	})
+	if n != 1 || q.Ops() != 4 {
+		t.Fatalf("second epoch drained %d ops, total %d", n, q.Ops())
+	}
+}

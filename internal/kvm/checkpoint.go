@@ -24,12 +24,13 @@ import (
 type StackCheckpoint struct {
 	machine *machine.Checkpoint
 	hyps    []hypCheckpoint
+	lastSMP SMPStats
 }
 
 type hypCheckpoint struct {
-	hostCtx    Context
+	hostCtxs   []Context
 	loaded     []loadedCtx
-	pendingFwd *fwd
+	pendingFwd []*fwd
 	hasGuest   bool // guestMem allocator existed
 	guestNext  mem.Addr
 	nextVMID   uint16
@@ -88,9 +89,14 @@ func (s *Stack) hyps() []*Hypervisor {
 	return out
 }
 
-// Checkpoint captures the full stack state.
+// Checkpoint captures the full stack state. SMP runs are only capturable
+// at quiescent boundaries: between RunSMP/RunSMPOpts calls, never while
+// the epoch engine has vCPU goroutines parked inside guest contexts.
 func (s *Stack) Checkpoint() *StackCheckpoint {
-	cp := &StackCheckpoint{machine: s.M.Checkpoint()}
+	if s.smpRunning {
+		panic("kvm: Checkpoint during an SMP run (not a quiescent boundary)")
+	}
+	cp := &StackCheckpoint{machine: s.M.Checkpoint(), lastSMP: s.lastSMP}
 	for _, h := range s.hyps() {
 		cp.hyps = append(cp.hyps, checkpointHyp(h))
 	}
@@ -99,13 +105,16 @@ func (s *Stack) Checkpoint() *StackCheckpoint {
 
 func checkpointHyp(h *Hypervisor) hypCheckpoint {
 	cp := hypCheckpoint{
-		hostCtx:  h.hostCtx,
-		loaded:   append([]loadedCtx(nil), h.loaded...),
-		nextVMID: h.nextVMID,
+		hostCtxs:   append([]Context(nil), h.hostCtxs...),
+		loaded:     append([]loadedCtx(nil), h.loaded...),
+		pendingFwd: make([]*fwd, len(h.pendingFwd)),
+		nextVMID:   h.nextVMID,
 	}
-	if h.pendingFwd != nil {
-		f := *h.pendingFwd
-		cp.pendingFwd = &f
+	for i, f := range h.pendingFwd {
+		if f != nil {
+			c := *f
+			cp.pendingFwd[i] = &c
+		}
 	}
 	if h.guestMem != nil {
 		cp.hasGuest = true
@@ -190,6 +199,10 @@ func checkpointVCPU(v *VCPU) vcpuCheckpoint {
 // restoring the boot checkpoint of a warm-boot pool entry allocates
 // nothing on the hot path.
 func (s *Stack) Restore(cp *StackCheckpoint) {
+	if s.smpRunning {
+		panic("kvm: Restore during an SMP run (not a quiescent boundary)")
+	}
+	s.lastSMP = cp.lastSMP
 	if s.jit != nil {
 		// Full invalidation, not just a Quiesce: super-op guards are value
 		// preconditions and would stay sound across the restore, but
@@ -220,13 +233,15 @@ func (s *Stack) Restore(cp *StackCheckpoint) {
 }
 
 func restoreHyp(h *Hypervisor, cp *hypCheckpoint) {
-	h.hostCtx = cp.hostCtx
+	copy(h.hostCtxs, cp.hostCtxs)
 	copy(h.loaded, cp.loaded)
-	if cp.pendingFwd == nil {
-		h.pendingFwd = nil
-	} else {
-		f := *cp.pendingFwd
-		h.pendingFwd = &f
+	for i := range h.pendingFwd {
+		if i >= len(cp.pendingFwd) || cp.pendingFwd[i] == nil {
+			h.pendingFwd[i] = nil
+			continue
+		}
+		f := *cp.pendingFwd[i]
+		h.pendingFwd[i] = &f
 	}
 	switch {
 	case !cp.hasGuest:

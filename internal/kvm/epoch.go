@@ -1,0 +1,365 @@
+package kvm
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/gic"
+	"github.com/nevesim/neve/internal/mmu"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// The deterministic epoch-lockstep SMP engine.
+//
+// Each vCPU runs its trap-and-emulate stream on its own goroutine; the
+// run is divided into epochs of at most EpochBudget guest cycles. Within
+// an epoch a vCPU touches only per-vCPU state (its CPU model, contexts,
+// VNCR page, private Stage-2 TLB, trace shard), so epochs of different
+// vCPUs may execute genuinely in parallel. Every shared-state effect —
+// SGI/IPI fan-out through the distributor, shared guest RAM, the shared
+// virtio device — is queued (or parked as a thunk) and merged at the
+// epoch barrier in vCPU order on a single thread. Because segment
+// execution is per-vCPU-pure and barriers are totally ordered, a parallel
+// run is byte-identical to a sequential one: same cycle counts, same trap
+// streams, same guest-visible values. That equivalence is the engine's
+// correctness gate (TestSMPParallelMatchesSequential).
+//
+// The distributor is also where SMP contention is modeled: the k-th
+// distributor transaction merged within one epoch is charged
+// k*CostModel.DistContention cycles on its initiating vCPU, reproducing
+// the serialization that concurrent SGI writes suffer on real hardware.
+
+// defaultEpochBudget is the guest-cycle length of one epoch when
+// SMPOptions.EpochBudget is zero. Long enough to amortize barrier
+// synchronization, short enough to bound IPI delivery latency.
+const defaultEpochBudget = 20000
+
+// SMPOptions configures an SMP run.
+type SMPOptions struct {
+	// Parallel runs vCPU epochs on concurrent goroutines. The result is
+	// byte-identical to a sequential run; only wall-clock time differs.
+	// Configurations whose segment execution is not per-vCPU-pure (GICv2
+	// shadow pages, fault hooks, copy-on-write restored memory) fall back
+	// to sequential execution; SMPStats.Parallel reports the actual mode.
+	Parallel bool
+	// EpochBudget is the maximum guest cycles a vCPU executes per epoch
+	// (0 = defaultEpochBudget). RunSMP uses 1 for legacy strict
+	// round-robin interleaving.
+	EpochBudget uint64
+}
+
+// SMPStats summarizes a completed SMP run.
+type SMPStats struct {
+	// VCPUs is the number of vCPU programs run.
+	VCPUs int
+	// Parallel reports whether epochs actually ran concurrently (false
+	// when the engine fell back to sequential execution).
+	Parallel bool
+	// Epochs is the number of epoch rounds until all vCPUs finished.
+	Epochs uint64
+	// VClock is the global virtual clock: the maximum per-vCPU cycle
+	// count, advanced at each barrier to the slowest vCPU's position.
+	VClock uint64
+	// DistOps counts distributor transactions merged at barriers.
+	DistOps uint64
+	// Contention is the total distributor serialization penalty charged
+	// (cycles), per the CostModel.DistContention model.
+	Contention uint64
+}
+
+// parkKind labels why a vCPU worker parked back to the coordinator.
+type parkKind int
+
+const (
+	// parkEntered: the context chain is entered; the program is about to
+	// run. Entry allocates from shared bump allocators, so the
+	// coordinator serializes it.
+	parkEntered parkKind = iota
+	// parkEpoch: the epoch budget expired or the program yielded.
+	parkEpoch
+	// parkBarrier: the program needs a shared-state operation (op) run at
+	// the barrier before it can continue.
+	parkBarrier
+	// parkFinishing: the program returned; the exit epilogue (cold
+	// context switch out) is pending and must run serialized.
+	parkFinishing
+	// parkDone: the worker goroutine has fully retired.
+	parkDone
+)
+
+type smpPark struct {
+	kind parkKind
+	// op is the parked shared-state operation (parkBarrier only),
+	// executed by the coordinator at the barrier on the parked vCPU's
+	// own CPU context.
+	op func()
+}
+
+// smpEngine coordinates one RunSMPOpts invocation.
+type smpEngine struct {
+	s        *Stack
+	n        int
+	budget   uint64
+	parallel bool
+
+	// resume[i]/parks[i] implement the worker handshake: a worker blocks
+	// on resume[i], runs one segment, and reports back on parks[i]. Both
+	// are unbuffered, so every segment boundary is a happens-before edge
+	// between coordinator and worker.
+	resume []chan struct{}
+	parks  []chan smpPark
+	state  []smpPark
+	done   []bool
+
+	ipis   *gic.EpochQueue
+	guests []*SMPGuest
+	stats  SMPStats
+}
+
+// RunSMPOpts runs one program per vCPU of the innermost VM under the
+// epoch-lockstep engine and returns the run's statistics. Programs receive
+// an SMPGuest wrapping their vCPU's guest context; shared-state operations
+// through it are merged deterministically at epoch barriers.
+func (s *Stack) RunSMPOpts(programs []func(g *SMPGuest), opts SMPOptions) SMPStats {
+	n := len(programs)
+	if n == 0 {
+		return SMPStats{}
+	}
+	if n > len(s.M.CPUs) {
+		panic(fmt.Sprintf("kvm: %d SMP programs for %d cores", n, len(s.M.CPUs)))
+	}
+	if s.smpRunning {
+		panic("kvm: RunSMP reentered from inside an SMP run")
+	}
+	budget := opts.EpochBudget
+	if budget == 0 {
+		budget = defaultEpochBudget
+	}
+	e := &smpEngine{
+		s:        s,
+		n:        n,
+		budget:   budget,
+		parallel: opts.Parallel && s.parallelSafe(n),
+		resume:   make([]chan struct{}, n),
+		parks:    make([]chan smpPark, n),
+		state:    make([]smpPark, n),
+		done:     make([]bool, n),
+		ipis:     gic.NewEpochQueue(n),
+		guests:   make([]*SMPGuest, n),
+	}
+	for i := 0; i < n; i++ {
+		e.resume[i] = make(chan struct{})
+		e.parks[i] = make(chan smpPark)
+	}
+	e.stats.VCPUs = n
+	e.stats.Parallel = e.parallel
+
+	s.smpRunning = true
+	teardown := s.smpSetup(n)
+	e.run(programs)
+	teardown()
+	s.smpRunning = false
+
+	e.stats.DistOps = e.ipis.Ops()
+	s.lastSMP = e.stats
+	return e.stats
+}
+
+// LastSMP returns the statistics of the most recent completed SMP run.
+func (s *Stack) LastSMP() SMPStats { return s.lastSMP }
+
+// parallelSafe reports whether segment execution is per-vCPU-pure in this
+// configuration, i.e. whether epochs may run on concurrent goroutines.
+func (s *Stack) parallelSafe(n int) bool {
+	for _, h := range s.hyps() {
+		if h.Cfg.GICv2 {
+			// The GICv2 world switch copies virtual-interface state into
+			// the VM's shared GIC shadow page on every exit.
+			return false
+		}
+	}
+	if s.M.Mem.CoWActive() {
+		// Copy-on-write restored memory: the first write to a shared page
+		// mutates the page directory, which segments must not race on.
+		return false
+	}
+	for _, c := range s.M.CPUs[:n] {
+		if c.HookTrap != nil || c.HookTick != nil {
+			// Fault injectors and watchdogs observe a global trap stream.
+			return false
+		}
+	}
+	return true
+}
+
+// smpSetup prepares the machine for (potentially parallel) segment
+// execution and returns the matching teardown. The same preparation runs
+// in sequential mode so that both modes execute byte-identical streams:
+//   - each running CPU gets a private trace shard, merged back into the
+//     machine collector in CPU order afterwards;
+//   - each running CPU gets a private Stage-2 walker with its own TLB
+//     (the shared TLB is not safe for concurrent fills, and per-CPU TLBs
+//     make miss patterns independent of sibling scheduling);
+//   - machine memory switches to concurrent mode (drops the last-page
+//     cache, a pure performance shortcut);
+//   - the trace-JIT is detached: recordings interleave across vCPUs and
+//     super-op dispatch mutates shared chain state. Mirrors the PR 6
+//     gating that already excludes JIT from traced/faulted runs.
+func (s *Stack) smpSetup(n int) func() {
+	m := s.M
+	parent := m.Trace
+	shards := make([]*trace.Collector, n)
+	oldS2 := make([]arm.Stage2, n)
+	for i := 0; i < n; i++ {
+		c := m.CPUs[i]
+		sh := trace.NewCollector(parent.Recording())
+		sh.SetEnabled(parent.Enabled())
+		if rc := parent.RecentCap(); rc > 0 {
+			sh.EnableRecent(rc)
+		}
+		shards[i] = sh
+		c.Trace = sh
+		oldS2[i] = c.S2
+		c.S2 = &mmu.Stage2{Mem: m.Mem, TLB: mmu.NewTLB(512), WalkCost: m.S2.WalkCost}
+		c.SetJIT(nil)
+	}
+	m.Mem.SetConcurrent(true)
+	return func() {
+		m.Mem.SetConcurrent(false)
+		for i := 0; i < n; i++ {
+			c := m.CPUs[i]
+			parent.Merge(shards[i])
+			c.Trace = parent
+			c.S2 = oldS2[i]
+			if s.jit != nil {
+				c.SetJIT(s.jit)
+			}
+		}
+	}
+}
+
+// run executes the worker protocol to completion.
+func (e *smpEngine) run(programs []func(g *SMPGuest)) {
+	for i := 0; i < e.n; i++ {
+		i := i
+		e.guests[i] = &SMPGuest{eng: e, id: i}
+		go func() {
+			<-e.resume[i]
+			e.s.runOn(i, func(g *GuestCtx) {
+				sg := e.guests[i]
+				sg.GuestCtx = g
+				sg.segStart = g.CPU.Cycles()
+				sg.park(smpPark{kind: parkEntered})
+				programs[i](sg)
+				sg.park(smpPark{kind: parkFinishing})
+			})
+			e.parks[i] <- smpPark{kind: parkDone}
+		}()
+	}
+
+	// Serialized entry: context-chain entry allocates from shared bump
+	// allocators (guest page tables, VNCR pages), so each vCPU enters
+	// alone, in vCPU order, before any epoch runs.
+	for i := 0; i < e.n; i++ {
+		e.resume[i] <- struct{}{}
+		e.state[i] = <-e.parks[i]
+		if e.state[i].kind != parkEntered {
+			panic("kvm: SMP worker parked before completing entry")
+		}
+	}
+
+	for {
+		act := activeVCPUs(e.done)
+		if len(act) == 0 {
+			return
+		}
+		e.stats.Epochs++
+		if e.parallel && len(act) > 1 {
+			// Parallel epoch: all segments at once, parks collected in
+			// vCPU order (collection order is irrelevant — no segment
+			// touches shared state — but fixed order keeps the
+			// coordinator itself deterministic).
+			for _, i := range act {
+				e.resume[i] <- struct{}{}
+			}
+			for _, i := range act {
+				e.state[i] = <-e.parks[i]
+			}
+		} else {
+			// Sequential epoch: one segment at a time, vCPU order.
+			for _, i := range act {
+				e.resume[i] <- struct{}{}
+				e.state[i] = <-e.parks[i]
+			}
+		}
+		e.barrier(act)
+	}
+}
+
+// activeVCPUs returns the indices of unfinished vCPUs, in vCPU order.
+func activeVCPUs(done []bool) []int {
+	var out []int
+	for i, d := range done {
+		if !d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// barrier merges the epoch's shared-state effects on the coordinator
+// thread, in strict vCPU order. Every parked worker is blocked on its
+// resume channel, so the coordinator may operate on any parked vCPU's CPU
+// context race-free.
+func (e *smpEngine) barrier(act []int) {
+	// 1. Parked shared-state operations (RAM, shared device registers).
+	for _, i := range act {
+		if e.state[i].kind == parkBarrier && e.state[i].op != nil {
+			e.state[i].op()
+			e.state[i].op = nil
+		}
+	}
+	// 2. Distributor merge: queued SGIs replay through the sender's full
+	// trap-and-emulate path (the same ICC_SGI1R_EL1 write the guest would
+	// have executed), so trap costs and delivery are identical to a
+	// sequential stream. The k-th transaction this epoch pays k units of
+	// distributor contention.
+	cost := e.s.M.CPUs[0].Cost.DistContention
+	e.ipis.Drain(func(sender int, sgi gic.SGI, k int) {
+		g := e.guests[sender]
+		g.GuestCtx.SendIPI(sgi.Target, sgi.INTID)
+		if k > 0 {
+			pen := uint64(k) * cost
+			g.CPU.AddCycles(pen)
+			e.stats.Contention += pen
+		}
+	})
+	// 3. Exit epilogues: finishing vCPUs run their cold context switch
+	// out of the guest one at a time, in vCPU order.
+	for _, i := range act {
+		if e.state[i].kind == parkFinishing {
+			e.resume[i] <- struct{}{}
+			if p := <-e.parks[i]; p.kind != parkDone {
+				panic("kvm: SMP worker parked inside its exit epilogue")
+			}
+			e.done[i] = true
+		}
+	}
+	// 4. Advance the global virtual clock to the slowest vCPU.
+	for i := 0; i < e.n; i++ {
+		if c := e.s.M.CPUs[i].Cycles(); c > e.stats.VClock {
+			e.stats.VClock = c
+		}
+	}
+}
+
+// park blocks the calling worker until the coordinator resumes it.
+func (e *smpEngine) park(id int, p smpPark) {
+	e.parks[id] <- p
+	<-e.resume[id]
+}
+
+// queueIPI records an SGI for merge at the epoch barrier.
+func (e *smpEngine) queueIPI(sender, target, intid int) {
+	e.ipis.Push(sender, gic.SGI{Target: target, INTID: intid})
+}

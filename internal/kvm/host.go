@@ -36,8 +36,8 @@ func (h *Hypervisor) handleExit(c *arm.CPU, e *arm.Exception) uint64 {
 	h.hvcToSelfHyp(c)
 	h.guestEnterSeq(c, lc.vcpu, lc.mode)
 	h.setGuestEnv(c, lc)
-	if f := h.pendingFwd; f != nil {
-		h.pendingFwd = nil
+	if f := h.pendingFwd[c.ID]; f != nil {
+		h.pendingFwd[c.ID] = nil
 		if !h.IsHost() {
 			// A deprivileged hypervisor cannot enter its guest itself: it
 			// records the pending virtual vector entry and erets; the host
@@ -412,7 +412,7 @@ func (h *Hypervisor) prepareForward(c *arm.CPU, lc *loadedCtx, e *arm.Exception)
 	h.projectVEL2Env(c, v)
 	h.flushPendingVIRQ(v)
 	lc.mode = modeVEL2
-	h.pendingFwd = &fwd{child: gh, exc: *e, level: h.Level + 1}
+	h.pendingFwd[c.ID] = &fwd{child: gh, exc: *e, level: h.Level + 1}
 }
 
 // handleVEL2ERet handles the trapped eret of a guest hypervisor: enter its
@@ -436,7 +436,7 @@ func (h *Hypervisor) handleVEL2ERet(c *arm.CPU, lc *loadedCtx) {
 		if gh := v.VM.GuestHyp; gh != nil && len(gh.VMs) > 0 {
 			nv := gh.VMs[0].VCPUs[v.ID]
 			if nv.pendingEntry != nil && nv.VM.GuestHyp != nil {
-				h.pendingFwd = &fwd{child: nv.VM.GuestHyp, exc: *nv.pendingEntry, level: h.Level + 2}
+				h.pendingFwd[c.ID] = &fwd{child: nv.VM.GuestHyp, exc: *nv.pendingEntry, level: h.Level + 2}
 				nv.pendingEntry = nil
 			}
 		}

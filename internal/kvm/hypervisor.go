@@ -86,15 +86,21 @@ type Hypervisor struct {
 
 	VMs []*VM
 
-	// hostCtx is the hypervisor's host Linux EL1 context. A non-VHE build
-	// switches it against the VM context on every exit (Section 6.5).
-	hostCtx Context
+	// hostCtxs are the hypervisor's host Linux EL1 contexts, one per
+	// physical core. A non-VHE build switches the running core's copy
+	// against the VM context on every exit (Section 6.5). Per-core copies
+	// (seeded identically) let world switches on different cores proceed
+	// without sharing mutable state — the property the SMP epoch engine's
+	// parallel segments rely on.
+	hostCtxs []Context
 
 	// home is the VM this hypervisor runs inside (nil for the host).
 	home *VM
 
-	loaded     []loadedCtx
-	pendingFwd *fwd
+	loaded []loadedCtx
+	// pendingFwd is the per-physical-core exit queued for forwarding to a
+	// guest hypervisor (indexed by arm.CPU.ID, like loaded).
+	pendingFwd []*fwd
 	guestMem   *guestBacking
 	nextVMID   uint16
 }
@@ -106,15 +112,21 @@ func New(cfg Config, m *machine.Machine, parent *Hypervisor) *Hypervisor {
 		level = parent.Level + 1
 	}
 	h := &Hypervisor{
-		Cfg:    cfg,
-		M:      m,
-		Parent: parent,
-		Level:  level,
-		loaded: make([]loadedCtx, len(m.CPUs)),
+		Cfg:        cfg,
+		M:          m,
+		Parent:     parent,
+		Level:      level,
+		loaded:     make([]loadedCtx, len(m.CPUs)),
+		pendingFwd: make([]*fwd, len(m.CPUs)),
+		hostCtxs:   make([]Context, len(m.CPUs)),
 	}
-	// Plausible host kernel EL1 context contents (values are opaque).
-	for i, r := range el1CtxRegs {
-		h.hostCtx.Set(r, 0x0521_0000+uint64(i))
+	// Plausible host kernel EL1 context contents (values are opaque, and
+	// identical on every core: the host kernel never changes them, so the
+	// per-core copies stay byte-identical for the life of the stack).
+	for cpu := range h.hostCtxs {
+		for i, r := range el1CtxRegs {
+			h.hostCtxs[cpu].Set(r, 0x0521_0000+uint64(i))
+		}
 	}
 	return h
 }

@@ -89,11 +89,13 @@ func (src *stackSource) WalkJIT(w *jit.W) {
 }
 
 func (src *stackSource) walkHyp(w *jit.W, h *Hypervisor) {
-	if h.hostCtx.jt == nil {
-		// A context created after InstallJIT is untracked: its reads
-		// would go unguarded, so no super-op may span it.
-		w.Fail()
-		return
+	for i := range h.hostCtxs {
+		if h.hostCtxs[i].jt == nil {
+			// A context created after InstallJIT is untracked: its reads
+			// would go unguarded, so no super-op may span it.
+			w.Fail()
+			return
+		}
 	}
 	for i := range h.loaded {
 		lc := &h.loaded[i]
@@ -107,11 +109,13 @@ func (src *stackSource) walkHyp(w *jit.W, h *Hypervisor) {
 		lc.vcpu = src.vcpus[tmp&0xffff]
 		lc.mode = runMode(tmp >> 16)
 	}
-	if h.pendingFwd != nil {
-		// An exit queued for forwarding is in flight; its payload is not
-		// expressible as a state word.
-		w.Fail()
-		return
+	for _, f := range h.pendingFwd {
+		if f != nil {
+			// An exit queued for forwarding is in flight; its payload is not
+			// expressible as a state word.
+			w.Fail()
+			return
+		}
 	}
 	if h.guestMem != nil {
 		w.Shape(1)
@@ -290,7 +294,9 @@ func (s *Stack) InstallJIT(threshold int) {
 		ctx.jt = eng.Tap(eng.RegisterFile(ctx.regs[:]))
 	}
 	for _, h := range s.hyps() {
-		track(&h.hostCtx)
+		for i := range h.hostCtxs {
+			track(&h.hostCtxs[i])
+		}
 		for _, vm := range h.VMs {
 			for _, v := range vm.VCPUs {
 				track(&v.EL1)

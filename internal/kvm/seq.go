@@ -317,13 +317,13 @@ func (h *Hypervisor) restoreVMCtx(c *arm.CPU, v *VCPU) {
 func (h *Hypervisor) restoreHostCtx(c *arm.CPU) {
 	runCtxSeq(c, func() {
 		c.MemOp(uint64(len(el1CtxRegs)))
-		c.LoadSeq(hostCtxSeq, h.hostCtx.file())
+		c.LoadSeq(hostCtxSeq, h.hostCtxs[c.ID].file())
 	})
 }
 
 func (h *Hypervisor) saveHostCtx(c *arm.CPU) {
 	runCtxSeq(c, func() {
-		c.SaveSeq(hostCtxSeq, h.hostCtx.file())
+		c.SaveSeq(hostCtxSeq, h.hostCtxs[c.ID].file())
 		c.MemOp(uint64(len(el1CtxRegs)))
 	})
 }

@@ -106,7 +106,7 @@ func TestCtxSeqRollbackAttribution(t *testing.T) {
 			}
 		}()
 		runCtxSeq(c, func() {
-			c.SaveSeq(hostCtxSeq, s.Host.hostCtx.file())
+			c.SaveSeq(hostCtxSeq, s.Host.hostCtxs[c.ID].file())
 			c.MemOp(uint64(len(el1CtxRegs)))
 			panic("mid-sequence divergence")
 		})

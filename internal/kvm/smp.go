@@ -6,95 +6,112 @@ import (
 	"github.com/nevesim/neve/internal/arm"
 )
 
-// SMP execution: the benchmark configurations run 4-way SMP guests (paper
-// Section 5). The simulator's cores are synchronous call stacks, so true
-// concurrency is modeled cooperatively: each vCPU's guest program runs in
-// its own goroutine, and a strict token handoff at yield points serializes
-// them deterministically — one runnable vCPU at a time, round-robin.
+// SMP execution: the benchmark configurations run multi-way SMP guests
+// (paper Section 5). Each vCPU's guest program runs on its own goroutine
+// under the epoch-lockstep engine (epoch.go): per-vCPU segments execute
+// independently — in parallel when SMPOptions.Parallel is set — and all
+// shared-state effects merge at epoch barriers in vCPU order, so the
+// interleaving is deterministic and mode-independent.
 
-// smpGuest is one vCPU's program in an SMP run. Yield passes the turn to
-// the next vCPU; Work both burns cycles and yields.
-type smpGuest struct {
+// SMPGuest is the guest context handed to SMP programs. Per-vCPU
+// operations (Work, Hypercall, device emulation below the virtio window)
+// run inside the current epoch segment; shared-state operations (IPIs,
+// guest RAM, real virtio registers) are queued or parked and merged at the
+// epoch barrier.
+type SMPGuest struct {
 	*GuestCtx
-	sched *smpSched
-	id    int
+	eng *smpEngine
+	id  int
+	// segStart is the vCPU's cycle count at the start of the current
+	// epoch segment; the budget check measures against it.
+	segStart uint64
 }
 
-// Yield hands execution to the next online vCPU.
-func (g *smpGuest) Yield() { g.sched.yield(g.id) }
+// ID returns the vCPU index.
+func (g *SMPGuest) ID() int { return g.id }
 
-// Work burns guest cycles, services interrupts, and yields.
-func (g *smpGuest) Work(n uint64) {
+// park hands control to the coordinator and, once resumed, opens the next
+// epoch segment.
+func (g *SMPGuest) park(p smpPark) {
+	g.eng.park(g.id, p)
+	g.segStart = g.CPU.Cycles()
+}
+
+// maybeEpoch parks at the epoch barrier once the segment budget expires.
+func (g *SMPGuest) maybeEpoch() {
+	if g.CPU.Cycles()-g.segStart >= g.eng.budget {
+		g.park(smpPark{kind: parkEpoch})
+	}
+}
+
+// Yield ends the vCPU's epoch segment immediately (cooperative yield).
+func (g *SMPGuest) Yield() { g.park(smpPark{kind: parkEpoch}) }
+
+// Work burns guest cycles and services interrupts, parking at the epoch
+// barrier when the segment budget expires.
+func (g *SMPGuest) Work(n uint64) {
 	g.GuestCtx.Work(n)
-	g.Yield()
+	g.maybeEpoch()
 }
 
-type smpSched struct {
-	turn []chan struct{}
-	done []bool
-	n    int
+// Hypercall issues a null hypercall on the vCPU's own trap path.
+func (g *SMPGuest) Hypercall() {
+	g.GuestCtx.Hypercall()
+	g.maybeEpoch()
 }
 
-func (s *smpSched) yield(id int) {
-	next := s.nextRunnable(id)
-	if next == id {
-		return // nobody else to run
+// SendIPI queues SGI intid to another vCPU. The distributor transaction
+// (the trapping ICC_SGI1R_EL1 write, with its full emulation cost) replays
+// at the epoch barrier, where concurrent senders serialize and pay the
+// distributor contention penalty.
+func (g *SMPGuest) SendIPI(target, intid int) {
+	if intid > MaxGuestSGI {
+		panic(fmt.Sprintf("kvm: guest SGI %d out of range", intid))
 	}
-	s.turn[next] <- struct{}{}
-	<-s.turn[id]
+	g.eng.queueIPI(g.id, target, intid)
 }
 
-func (s *smpSched) nextRunnable(id int) int {
-	for i := 1; i <= s.n; i++ {
-		cand := (id + i) % s.n
-		if !s.done[cand] {
-			return cand
-		}
+// RAMRead64 reads shared guest RAM; the access runs at the epoch barrier.
+func (g *SMPGuest) RAMRead64(off uint64) uint64 {
+	var v uint64
+	g.park(smpPark{kind: parkBarrier, op: func() { v = g.GuestCtx.RAMRead64(off) }})
+	return v
+}
+
+// RAMWrite64 writes shared guest RAM; the access runs at the epoch barrier.
+func (g *SMPGuest) RAMWrite64(off uint64, v uint64) {
+	g.park(smpPark{kind: parkBarrier, op: func() { g.GuestCtx.RAMWrite64(off, v) }})
+}
+
+// DeviceRead reads an emulated device register. The generic emulated
+// device (offsets below VirtioRegOff) is per-vCPU and runs in-segment; the
+// real virtio-mmio device behind it is shared VM state and runs at the
+// epoch barrier.
+func (g *SMPGuest) DeviceRead(off uint64) uint64 {
+	if off < VirtioRegOff {
+		return g.GuestCtx.DeviceRead(off)
 	}
-	return id
+	var v uint64
+	g.park(smpPark{kind: parkBarrier, op: func() { v = g.GuestCtx.DeviceRead(off) }})
+	return v
+}
+
+// DeviceWrite writes an emulated device register (see DeviceRead for the
+// in-segment/at-barrier split).
+func (g *SMPGuest) DeviceWrite(off uint64, v uint64) {
+	if off < VirtioRegOff {
+		g.GuestCtx.DeviceWrite(off, v)
+		return
+	}
+	g.park(smpPark{kind: parkBarrier, op: func() { g.GuestCtx.DeviceWrite(off, v) }})
 }
 
 // RunSMP runs one program per vCPU of the innermost VM, interleaved
-// deterministically at Work/Yield points. Programs receive an smpGuest
-// wrapping their vCPU's guest context.
+// deterministically in strict round-robin: sequential epochs of budget 1,
+// so every Work/Yield is a scheduling boundary (the engine's legacy mode).
 func (s *Stack) RunSMP(programs []func(g *SMPGuest)) {
-	n := len(programs)
-	if n == 0 {
-		return
-	}
-	if n > len(s.M.CPUs) {
-		panic(fmt.Sprintf("kvm: %d SMP programs for %d cores", n, len(s.M.CPUs)))
-	}
-	sched := &smpSched{n: n, done: make([]bool, n)}
-	for i := 0; i < n; i++ {
-		sched.turn = append(sched.turn, make(chan struct{})) // unbuffered: strict handoff
-	}
-	finished := make(chan int, n)
-
-	for i := 0; i < n; i++ {
-		i := i
-		go func() {
-			// Wait for the turn token before touching any shared state.
-			<-sched.turn[i]
-			s.runOn(i, func(g *GuestCtx) {
-				programs[i](&SMPGuest{smpGuest{GuestCtx: g, sched: sched, id: i}})
-			})
-			sched.done[i] = true
-			// Pass the token on before retiring.
-			if next := sched.nextRunnable(i); next != i {
-				sched.turn[next] <- struct{}{}
-			}
-			finished <- i
-		}()
-	}
-	sched.turn[0] <- struct{}{}
-	for i := 0; i < n; i++ {
-		<-finished
-	}
+	s.RunSMPOpts(programs, SMPOptions{EpochBudget: 1})
 }
-
-// SMPGuest is the guest context handed to SMP programs.
-type SMPGuest struct{ smpGuest }
 
 // runOn enters vCPU i's innermost guest on its own core and runs fn.
 func (s *Stack) runOn(i int, fn func(g *GuestCtx)) {

@@ -25,6 +25,15 @@ type Stack struct {
 
 	// jit is the trace-JIT engine, when installed (InstallJIT).
 	jit *jit.Engine
+
+	// smpRunning marks an SMP epoch engine mid-run: vCPU goroutines are
+	// parked inside guest contexts, so the stack is not at a quiescent
+	// boundary and cannot be checkpointed.
+	smpRunning bool
+	// lastSMP is the statistics of the most recent completed SMP run
+	// (captured and restored by checkpoints alongside the rest of the
+	// scheduler-visible state).
+	lastSMP SMPStats
 }
 
 // StackOptions selects the stack configuration.

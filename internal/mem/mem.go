@@ -87,6 +87,13 @@ type Memory struct {
 	allocNext Addr
 	// limit, if nonzero, bounds the highest addressable byte.
 	limit Addr
+	// concurrent disables the last-page cache: the SMP epoch engine sets
+	// it while vCPU segments run on parallel goroutines, because the cache
+	// is written on every access (reads included) and would be a data race
+	// between cores. Contents are unaffected — the cache is purely a
+	// lookup shortcut — so sequential and concurrent runs stay
+	// byte-identical.
+	concurrent bool
 
 	// Tap, when non-nil, observes every access (reads included) and every
 	// page allocation. The trace-JIT layer arms it while recording a trap
@@ -129,10 +136,32 @@ func (m *Memory) check(a Addr, size int) error {
 	return nil
 }
 
+// SetConcurrent toggles concurrent mode (see the concurrent field). The
+// cache is dropped on every transition so a stale entry never survives
+// into either mode.
+func (m *Memory) SetConcurrent(on bool) {
+	m.concurrent = on
+	m.lastBase, m.lastPage, m.lastShared = 0, nil, false
+}
+
+// CoWActive reports whether a Snapshot holds shared pages: the first write
+// to such a page mutates directory structure (unshare), which is not safe
+// from parallel goroutines. The SMP epoch engine forces sequential mode
+// while this is true.
+func (m *Memory) CoWActive() bool { return m.cow }
+
 func (m *Memory) page(a Addr, allocate bool) *page {
+	p, _ := m.pageShared(a, allocate)
+	return p
+}
+
+// pageShared resolves the page containing a and its copy-on-write shared
+// bit. In concurrent mode the last-page cache is neither consulted nor
+// updated.
+func (m *Memory) pageShared(a Addr, allocate bool) (*page, bool) {
 	base := a.PageBase()
-	if m.lastPage != nil && m.lastBase == base {
-		return m.lastPage
+	if !m.concurrent && m.lastPage != nil && m.lastBase == base {
+		return m.lastPage, m.lastShared
 	}
 	var p *page
 	shared := false
@@ -145,7 +174,7 @@ func (m *Memory) page(a Addr, allocate bool) *page {
 		}
 		if leaf == nil {
 			if !allocate {
-				return nil
+				return nil, false
 			}
 			for int(li) >= len(m.dir) {
 				m.dir = append(m.dir, nil)
@@ -156,7 +185,7 @@ func (m *Memory) page(a Addr, allocate bool) *page {
 		p = leaf[pi]
 		if p == nil {
 			if !allocate {
-				return nil
+				return nil, false
 			}
 			p = new(page)
 			leaf[pi] = p
@@ -168,7 +197,7 @@ func (m *Memory) page(a Addr, allocate bool) *page {
 		p = m.high[base]
 		if p == nil {
 			if !allocate {
-				return nil
+				return nil, false
 			}
 			if m.high == nil {
 				m.high = make(map[Addr]*page)
@@ -180,8 +209,10 @@ func (m *Memory) page(a Addr, allocate bool) *page {
 			shared = m.sharedHigh[base]
 		}
 	}
-	m.lastBase, m.lastPage, m.lastShared = base, p, shared
-	return p
+	if !m.concurrent {
+		m.lastBase, m.lastPage, m.lastShared = base, p, shared
+	}
+	return p, shared
 }
 
 // unshare copies the shared page at base into storage this Memory owns
@@ -199,7 +230,9 @@ func (m *Memory) unshare(base Addr, old *page) *page {
 		m.high[base] = p
 		delete(m.sharedHigh, base)
 	}
-	m.lastBase, m.lastPage, m.lastShared = base, p, false
+	if !m.concurrent {
+		m.lastBase, m.lastPage, m.lastShared = base, p, false
+	}
 	return p
 }
 
@@ -231,8 +264,8 @@ func (m *Memory) Write64(a Addr, v uint64) error {
 	if err := m.check(a, 8); err != nil {
 		return err
 	}
-	p := m.page(a, true)
-	if m.lastShared {
+	p, shared := m.pageShared(a, true)
+	if shared {
 		p = m.unshare(a.PageBase(), p)
 	}
 	off := a.PageOff()
@@ -270,8 +303,8 @@ func (m *Memory) Write32(a Addr, v uint32) error {
 	if err := m.check(a, 4); err != nil {
 		return err
 	}
-	p := m.page(a, true)
-	if m.lastShared {
+	p, shared := m.pageShared(a, true)
+	if shared {
 		p = m.unshare(a.PageBase(), p)
 	}
 	off := a.PageOff()
@@ -327,8 +360,8 @@ func (m *Memory) ZeroPage(a Addr) {
 	if m.Tap != nil {
 		m.Tap()
 	}
-	if p := m.page(a, false); p != nil {
-		if m.lastShared {
+	if p, shared := m.pageShared(a, false); p != nil {
+		if shared {
 			p = m.unshare(a.PageBase(), p)
 		}
 		*p = page{}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -41,6 +42,7 @@ func TestValidateRejectsIllegalCombinations(t *testing.T) {
 		{"optvhe without guestvhe", Spec{Nesting: 2, NEVE: true, OptimizedVHE: true}, "guestvhe"},
 		{"nesting out of range", Spec{Nesting: 4}, "out of range"},
 		{"negative cpus", Spec{CPUs: -1}, "CPU count"},
+		{"cpus above machine width", Spec{CPUs: MaxCPUs + 1}, "machine width"},
 		{"x86 recursive", Spec{Arch: X86, Nesting: 3}, "recursive"},
 		{"x86 neve", Spec{Arch: X86, Nesting: 2, NEVE: true}, "ARM axis"},
 		{"x86 vhe", Spec{Arch: X86, Nesting: 2, GuestVHE: true}, "ARM axis"},
@@ -106,6 +108,22 @@ func TestValidateNeverPanics(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestCPUWidthErrorTyped: callers sizing sweeps programmatically can
+// detect the width limit with errors.As and read the bound back.
+func TestCPUWidthErrorTyped(t *testing.T) {
+	err := Spec{CPUs: 100}.Validate()
+	var we *CPUWidthError
+	if !errors.As(err, &we) {
+		t.Fatalf("Validate returned %T (%v), want *CPUWidthError", err, err)
+	}
+	if we.CPUs != 100 || we.Max != MaxCPUs {
+		t.Fatalf("CPUWidthError = %+v", we)
+	}
+	if err := (Spec{CPUs: MaxCPUs}).Validate(); err != nil {
+		t.Fatalf("Validate rejected the maximum width: %v", err)
 	}
 }
 

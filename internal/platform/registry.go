@@ -36,6 +36,13 @@ var registry = []Spec{
 	{Name: "recursive-v8.3", Arch: ARM, Nesting: 3},
 	{Name: "recursive-neve", Arch: ARM, Nesting: 3, NEVE: true},
 
+	// SMP scale-out configurations for the epoch-lockstep vCPU engine:
+	// nested NEVE stacks at the paper's core count and twice it, and a
+	// plain VM at the maximum machine width.
+	{Name: "smp8", Arch: ARM, Nesting: 2, NEVE: true, CPUs: 8},
+	{Name: "smp16", Arch: ARM, Nesting: 2, NEVE: true, CPUs: 16},
+	{Name: "smp64", Arch: ARM, Nesting: 1, CPUs: 64},
+
 	// Off-matrix combinations the paper's hardware motivated: the actual
 	// evaluation machines had GICv2 and no VHE in the host, and the
 	// methodology ran paravirtualized hypervisors on pre-NV silicon.

@@ -153,6 +153,22 @@ type Spec struct {
 	JITThreshold int
 }
 
+// MaxCPUs is the widest machine the simulator models: the SMP scale-out
+// sweep's upper bound (the paper's hardware had 8 cores; 64 covers the
+// scaling projection).
+const MaxCPUs = 64
+
+// CPUWidthError reports a Spec whose CPUs axis exceeds the widest machine
+// the simulator models (MaxCPUs).
+type CPUWidthError struct {
+	CPUs int
+	Max  int
+}
+
+func (e *CPUWidthError) Error() string {
+	return fmt.Sprintf("platform: %d CPUs exceeds the maximum machine width %d", e.CPUs, e.Max)
+}
+
 // featOrDefault resolves FeatDefault against the NEVE axis.
 func (s Spec) featOrDefault() FeatureLevel {
 	if s.Feat != FeatDefault {
@@ -178,6 +194,9 @@ func (s Spec) Validate() error {
 	}
 	if s.CPUs < 0 {
 		return fmt.Errorf("platform: negative CPU count %d", s.CPUs)
+	}
+	if s.CPUs > MaxCPUs {
+		return &CPUWidthError{CPUs: s.CPUs, Max: MaxCPUs}
 	}
 	if s.Nesting < 0 || s.Nesting > 3 {
 		return fmt.Errorf("platform: nesting depth %d out of range (1..3)", s.Nesting)

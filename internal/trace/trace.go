@@ -466,6 +466,53 @@ func (c *Collector) Reset() {
 	}
 }
 
+// Recording reports whether individual events are retained.
+func (c *Collector) Recording() bool { return c.record }
+
+// Enabled reports whether collection is currently on.
+func (c *Collector) Enabled() bool { return c.enabled }
+
+// RecentCap returns the capacity of the recent-event ring (0 when the ring
+// is disabled).
+func (c *Collector) RecentCap() int { return len(c.recent) }
+
+// Merge folds another collector's counts (and retained events) into this
+// one. The SMP epoch engine gives each core a private shard collector while
+// vCPU segments run on parallel goroutines — Collector is not safe for
+// concurrent use — and merges the shards back in core order at the end of
+// the run, so the aggregate is deterministic and identical to a sequential
+// run. Counter-log state (the trace-JIT integration) is not merged; the
+// engine never shards while a recording is live.
+func (c *Collector) Merge(o *Collector) {
+	if c == nil || o == nil {
+		return
+	}
+	for r, n := range o.byReason {
+		c.byReason[r] += n
+	}
+	for i, n := range o.dense {
+		if n != 0 {
+			c.dense[i] += n
+		}
+	}
+	for k, n := range o.sparse {
+		c.sparse[k] += n
+	}
+	if c.record {
+		c.events = append(c.events, o.events...)
+	}
+	if c.recent != nil {
+		for _, ev := range o.Recent() {
+			c.recent[c.recentNext] = ev
+			c.recentNext++
+			if c.recentNext == len(c.recent) {
+				c.recentNext = 0
+			}
+			c.recentTotal++
+		}
+	}
+}
+
 // Summary renders a per-reason and per-detail breakdown, most frequent
 // first, as used by cmd/nevetrace.
 func (c *Collector) Summary() string {

@@ -1,0 +1,120 @@
+package workload
+
+// Multi-vCPU workloads for the SMP scale-out experiments: interrupt-bound
+// kernels whose cost is dominated by cross-vCPU communication through the
+// GIC distributor, the paper's hackbench dynamic pushed to 8-64 vCPUs.
+// Programs run under the kvm epoch-lockstep engine; they must keep all Go
+// state per-vCPU so that epochs may execute on parallel goroutines.
+
+// SMPAPI is the guest-side interface an SMP program runs against. It
+// extends the single-vCPU API with the operations that only exist on a
+// multi-vCPU guest: a scheduling yield, shared guest RAM, and the vCPU's
+// own identity. kvm.SMPGuest implements it.
+type SMPAPI interface {
+	API
+	Clock
+	// Yield ends the vCPU's scheduling quantum (an epoch segment).
+	Yield()
+	// RAMRead64/RAMWrite64 access cache-coherent guest RAM shared by all
+	// vCPUs.
+	RAMRead64(off uint64) uint64
+	RAMWrite64(off uint64, v uint64)
+	// ID is the vCPU index.
+	ID() int
+}
+
+// SMPProfile parameterizes one multi-vCPU workload; Programs instantiates
+// it for a given vCPU count, so the same profile sweeps across machine
+// widths.
+type SMPProfile struct {
+	Name        string
+	Description string
+	// Rounds is the number of communication rounds each vCPU executes.
+	Rounds int
+	// OpWork is the guest CPU work between communication events.
+	OpWork uint64
+
+	pattern func(p SMPProfile, n, i int) func(g SMPAPI)
+}
+
+// Programs returns one program per vCPU implementing the profile's
+// communication pattern across n vCPUs.
+func (p SMPProfile) Programs(n int) []func(g SMPAPI) {
+	progs := make([]func(g SMPAPI), n)
+	for i := 0; i < n; i++ {
+		progs[i] = p.pattern(p, n, i)
+	}
+	return progs
+}
+
+// ipiRing is the IPI-storm pattern: every vCPU works briefly, kicks its
+// ring successor, and yields — all n vCPUs funnel SGI writes through the
+// one distributor every round (hackbench's scheduler-IPI shape at scale).
+func ipiRing(p SMPProfile, n, i int) func(g SMPAPI) {
+	return func(g SMPAPI) {
+		g.OnIRQ(func(intid int) {})
+		for r := 0; r < p.Rounds; r++ {
+			g.Work(p.OpWork)
+			if n > 1 {
+				g.SendIPI((i+1)%n, r%8)
+			}
+			g.Yield()
+		}
+	}
+}
+
+// fanOut is the broadcast pattern: vCPU 0 publishes a message in shared
+// RAM and kicks every worker, so each round queues n-1 distributor
+// transactions in a single epoch — the worst-case contention burst.
+func fanOut(p SMPProfile, n, i int) func(g SMPAPI) {
+	const msgBase = 0x2000
+	if i == 0 {
+		return func(g SMPAPI) {
+			for r := 0; r < p.Rounds; r++ {
+				g.RAMWrite64(msgBase, uint64(r)+1)
+				for t := 1; t < n; t++ {
+					g.SendIPI(t, r%8)
+				}
+				g.Work(p.OpWork)
+				g.Yield()
+			}
+		}
+	}
+	return func(g SMPAPI) {
+		g.OnIRQ(func(intid int) {})
+		for r := 0; r < p.Rounds; r++ {
+			g.Work(p.OpWork)
+			g.Yield()
+		}
+		// Consume the last published message through shared RAM.
+		g.RAMRead64(msgBase)
+	}
+}
+
+// SMPProfiles returns the multi-vCPU workloads of the scale-out sweep.
+func SMPProfiles() []SMPProfile {
+	return []SMPProfile{
+		{
+			Name:        "ipi-ring",
+			Description: "IPI storm: every vCPU kicks its ring successor each round",
+			Rounds:      20, OpWork: 8_000,
+			pattern: ipiRing,
+		},
+		{
+			Name:        "fanout",
+			Description: "Broadcast: vCPU 0 publishes to shared RAM and kicks all workers",
+			Rounds:      12, OpWork: 10_000,
+			pattern: fanOut,
+		},
+	}
+}
+
+// SMPProfileByName returns the named SMP profile.
+func SMPProfileByName(name string) (SMPProfile, bool) {
+	for _, p := range SMPProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return SMPProfile{}, false
+}

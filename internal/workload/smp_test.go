@@ -1,0 +1,100 @@
+package workload
+
+import "testing"
+
+// fakeSMP counts the events a program issues; shared RAM is a plain map
+// because the fake runs programs one at a time.
+type fakeSMP struct {
+	Native
+	id     int
+	ram    map[uint64]uint64
+	ipis   int
+	yields int
+	reads  int
+	writes int
+}
+
+func (f *fakeSMP) SendIPI(target, intid int) {
+	if intid < 0 || intid > 7 {
+		panic("SGI out of guest range")
+	}
+	f.ipis++
+}
+func (f *fakeSMP) Yield()  { f.yields++ }
+func (f *fakeSMP) ID() int { return f.id }
+func (f *fakeSMP) RAMRead64(off uint64) uint64 {
+	f.reads++
+	return f.ram[off]
+}
+func (f *fakeSMP) RAMWrite64(off uint64, v uint64) {
+	f.writes++
+	f.ram[off] = v
+}
+
+func runFake(p SMPProfile, n int) []*fakeSMP {
+	progs := p.Programs(n)
+	ram := map[uint64]uint64{}
+	fakes := make([]*fakeSMP, n)
+	for i, prog := range progs {
+		fakes[i] = &fakeSMP{id: i, ram: ram}
+		prog(fakes[i])
+	}
+	return fakes
+}
+
+func TestSMPProfileIPIRing(t *testing.T) {
+	p, ok := SMPProfileByName("ipi-ring")
+	if !ok {
+		t.Fatal("ipi-ring missing")
+	}
+	for _, n := range []int{1, 8, 64} {
+		fakes := runFake(p, n)
+		for i, f := range fakes {
+			wantIPIs := p.Rounds
+			if n == 1 {
+				wantIPIs = 0 // no successor to kick
+			}
+			if f.ipis != wantIPIs || f.yields != p.Rounds {
+				t.Fatalf("n=%d vcpu%d: ipis=%d yields=%d, want %d/%d",
+					n, i, f.ipis, f.yields, wantIPIs, p.Rounds)
+			}
+		}
+	}
+}
+
+func TestSMPProfileFanOut(t *testing.T) {
+	p, ok := SMPProfileByName("fanout")
+	if !ok {
+		t.Fatal("fanout missing")
+	}
+	n := 8
+	fakes := runFake(p, n)
+	if fakes[0].ipis != (n-1)*p.Rounds {
+		t.Fatalf("root sent %d IPIs, want %d", fakes[0].ipis, (n-1)*p.Rounds)
+	}
+	if fakes[0].writes != p.Rounds {
+		t.Fatalf("root published %d messages, want %d", fakes[0].writes, p.Rounds)
+	}
+	for i := 1; i < n; i++ {
+		if fakes[i].ipis != 0 || fakes[i].reads != 1 {
+			t.Fatalf("worker %d: ipis=%d reads=%d", i, fakes[i].ipis, fakes[i].reads)
+		}
+	}
+	// Workers observe the last published message.
+	if got := fakes[1].ram[0x2000]; got != uint64(p.Rounds) {
+		t.Fatalf("last message = %d, want %d", got, p.Rounds)
+	}
+}
+
+func TestSMPProfilesDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range SMPProfiles() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Programs(4)) != 4 {
+			t.Fatalf("%s: Programs(4) wrong length", p.Name)
+		}
+	}
+}
