@@ -7,7 +7,7 @@
 GO ?= go
 EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke jit-equiv-smoke smp-race profile
+.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke jit-equiv-smoke smp-race smp-bench-smoke profile
 
 FUZZ_TARGETS := FuzzDifferentialNVvsNEVE FuzzFaultPlanRecovery FuzzParsePlan
 FUZZTIME ?= 10s
@@ -50,7 +50,7 @@ fuzz-smoke:
 		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) ./internal/fault/ || exit 1; \
 	done
 
-ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke jit-equiv-smoke smp-race
+ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke jit-equiv-smoke smp-race smp-bench-smoke
 
 # SMP engine gate: the epoch-lockstep tests under the race detector (the
 # parallel mode's happens-before edges are the whole design), plus the
@@ -59,6 +59,13 @@ ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdif
 smp-race:
 	$(GO) test -race ./internal/kvm -run SMP
 	$(GO) test ./internal/bench -run SMPEquivalence
+
+# One interrupt-storm sweep cell end to end, under the race detector,
+# with adaptive epoch budgets: nevesim smp exits non-zero if the parallel
+# run's equivalence fingerprint diverges from the sequential one, so this
+# covers the sharded-JIT + sense-reversing-barrier path in one cheap cell.
+smp-bench-smoke:
+	$(GO) run -race ./cmd/nevesim smp -cpus 8 -profile storm
 
 # Trace-JIT correctness smoke: the figure 2 measured table (deterministic,
 # no wall times) must be byte-identical with super-ops replaying (-jit=on)

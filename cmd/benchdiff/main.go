@@ -6,13 +6,16 @@
 // For every suite present in both reports it prints old/new wall time and
 // the relative change, and exits non-zero if any suite slowed down by
 // more than -threshold percent (default 10). Suites named smp-* (the SMP
-// scale-out sweep, written by `nevesim smp -json`) are judged against
-// -smp-threshold instead (default 25): a parallel cell's wall time rides
-// on goroutine scheduling and host core availability, so it is noisier
-// than the deterministic single-vCPU suites. Suites that appear in only
-// one report are listed but never fail the diff, so adding or retiring a
-// suite doesn't break CI. Throughput-only differences (cells/sec on a
-// zero-wall suite, parallelism changes) are informational.
+// scale-out sweep, written by `nevesim smp -json`) are judged on the
+// sweep's parallel speedup instead — speedup_x is higher-is-better, and a
+// cell regresses when its speedup drops by more than -smp-threshold
+// percent (default 25: a parallel cell's scheduling rides on host core
+// availability, so it is noisier than the deterministic single-vCPU
+// suites); their wall times are printed informationally. Suites or cells
+// that appear in only one report are listed but never fail the diff, so
+// adding or retiring a suite doesn't break CI. Throughput-only
+// differences (cells/sec on a zero-wall suite, parallelism changes) are
+// informational.
 package main
 
 import (
@@ -83,13 +86,17 @@ func main() {
 		delete(oldSuites, n.Name)
 		mark := ""
 		var pct float64
-		if o.WallMS > 0 {
-			limit := *threshold
-			if strings.HasPrefix(n.Name, "smp-") {
-				limit = *smpThreshold
+		if strings.HasPrefix(n.Name, "smp-") {
+			// smp-* suites are judged on speedup_x below, not wall time.
+			if o.WallMS > 0 {
+				pct = (n.WallMS - o.WallMS) / o.WallMS * 100
 			}
+			fmt.Printf("%-8s %12.1f %12.1f %+8.1f%%  (info; judged on speedup)\n", n.Name, o.WallMS, n.WallMS, pct)
+			continue
+		}
+		if o.WallMS > 0 {
 			pct = (n.WallMS - o.WallMS) / o.WallMS * 100
-			if pct > limit {
+			if pct > *threshold {
 				mark = "  REGRESSION"
 				failed = true
 			}
@@ -111,8 +118,38 @@ func main() {
 			(newR.TotalWallMS-oldR.TotalWallMS)/oldR.TotalWallMS*100)
 	}
 
+	// SMP cells: parallel speedup is the tracked number, higher is better.
+	// A cell regresses when its speedup drops by more than -smp-threshold
+	// percent of the old value.
+	if len(oldR.SMPCells) > 0 && len(newR.SMPCells) > 0 {
+		type cellKey struct{ config, profile string }
+		oldCells := make(map[cellKey]bench.SMPCell, len(oldR.SMPCells))
+		for _, c := range oldR.SMPCells {
+			oldCells[cellKey{c.Config, c.Profile}] = c
+		}
+		fmt.Printf("\n%-8s %-12s %11s %11s %9s\n", "config", "profile", "old speedup", "new speedup", "delta")
+		for _, n := range newR.SMPCells {
+			o, ok := oldCells[cellKey{n.Config, n.Profile}]
+			if !ok {
+				fmt.Printf("%-8s %-12s %11s %10.2fx %9s  (new cell)\n", n.Config, n.Profile, "-", n.SpeedupX, "-")
+				continue
+			}
+			mark := ""
+			var drop float64
+			if o.SpeedupX > 0 {
+				drop = (o.SpeedupX - n.SpeedupX) / o.SpeedupX * 100
+				if drop > *smpThreshold {
+					mark = "  REGRESSION"
+					failed = true
+				}
+			}
+			fmt.Printf("%-8s %-12s %10.2fx %10.2fx %+8.1f%%%s\n",
+				n.Config, n.Profile, o.SpeedupX, n.SpeedupX, -drop, mark)
+		}
+	}
+
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: wall-time regression above %.0f%% (%.0f%% for smp-*)\n", *threshold, *smpThreshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: regression above %.0f%% wall time (%.0f%% speedup drop for smp cells)\n", *threshold, *smpThreshold)
 		os.Exit(1)
 	}
 }

@@ -17,8 +17,10 @@
 //	nevesim smp        SMP scale-out sweep (epoch-lockstep engine):
 //	                   sequential vs parallel vCPU execution per cell with
 //	                   the byte-equivalence verdict; -json writes
-//	                   BENCH_<date>-smp.json, -cpus N restricts the sweep
-//	                   to configurations of that machine width
+//	                   BENCH_<date>-smp[-adaptive].json, -cpus N restricts
+//	                   the sweep to configurations of that machine width,
+//	                   -profile to one workload, -budget N fixes the epoch
+//	                   budget (0 = adaptive auto-tuning)
 //	nevesim run        microbenchmark one configuration: -config <name|axes>;
 //	                   -faults <plan> injects seeded faults, -max-traps/
 //	                   -max-steps attach watchdog budgets (non-zero exit
@@ -47,6 +49,7 @@ import (
 	"github.com/nevesim/neve/internal/mem"
 	"github.com/nevesim/neve/internal/platform"
 	"github.com/nevesim/neve/internal/trace"
+	"github.com/nevesim/neve/internal/workload"
 )
 
 func usage() {
@@ -179,15 +182,31 @@ func benchReport(h bench.Harness, args []string) {
 // smpReport runs the SMP scale-out sweep (internal/bench RunSMPSweep):
 // every cell sequential then parallel on the epoch-lockstep engine, with
 // the byte-equivalence verdict per cell. -cpus restricts the sweep to
-// registry configurations of that machine width; -json writes
-// BENCH_<date>-smp.json for cross-PR tracking via benchdiff's
+// registry configurations of that machine width; -profile to one workload
+// profile. -budget N fixes the epoch budget (the sensitivity axis); 0,
+// the default, selects adaptive auto-tuning. -json writes
+// BENCH_<date>-smp[-adaptive].json for cross-PR tracking via benchdiff's
 // -smp-threshold. Exits non-zero if any cell diverges — the sweep doubles
 // as a determinism gate, not just a benchmark.
 func smpReport(h bench.Harness, args []string) {
 	fs := flag.NewFlagSet("smp", flag.ExitOnError)
-	jsonOut := fs.Bool("json", false, "write BENCH_<date>-smp.json")
+	jsonOut := fs.Bool("json", false, "write BENCH_<date>-smp[-adaptive].json")
 	cpus := fs.Int("cpus", 0, "restrict the sweep to configurations with this vCPU count (0 = all)")
+	budget := fs.Uint64("budget", 0, "epoch budget in guest cycles (0 = adaptive auto-tuning)")
+	profile := fs.String("profile", "", "restrict the sweep to this workload profile (default all)")
 	fs.Parse(args)
+	opts := bench.SMPSweepOptions{Budget: *budget, Adaptive: *budget == 0}
+	if *profile != "" {
+		if _, ok := workload.SMPProfileByName(*profile); !ok {
+			fmt.Fprintf(os.Stderr, "nevesim smp: unknown profile %q (have:", *profile)
+			for _, p := range workload.SMPProfiles() {
+				fmt.Fprintf(os.Stderr, " %s", p.Name)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			os.Exit(2)
+		}
+		opts.Profiles = []string{*profile}
+	}
 	specs := bench.SMPSweepSpecs()
 	if *cpus != 0 {
 		var kept []string
@@ -206,7 +225,7 @@ func smpReport(h bench.Harness, args []string) {
 		}
 		specs = kept
 	}
-	r := h.RunSMPReportFor(specs)
+	r := h.RunSMPReportOpts(specs, opts)
 	fmt.Print(bench.FormatSMPReport(r))
 	diverged := false
 	for _, c := range r.SMPCells {

@@ -119,6 +119,13 @@ type CPU struct {
 	jit       *jit.Engine
 	jitPoison func()
 	regsTap   *jit.FileTap
+
+	// jitPoisonShared, when non-nil, additionally poisons recordings that
+	// READ machine-shared state (distributor enable bits, another vCPU's
+	// pending queue). Only SMP shard mode sets it: a full-machine engine's
+	// walk covers that state, so poisoning there would cost replay wins
+	// for nothing. See (*CPU).JITPoisonShared.
+	jitPoisonShared func()
 }
 
 // maxTrapDepth bounds the pooled trap nesting (recursive virtualization

@@ -14,7 +14,15 @@ func (c *CPU) SetJIT(j *jit.Engine) {
 	c.jit = j
 	if j != nil {
 		c.jitPoison = j.Poison
-		c.regsTap = j.Tap(j.RegisterFile(c.regs[:]))
+		// Re-attaching an engine this core was already registered with
+		// (the SMP engine swaps shard engines in and out every run) must
+		// reuse the existing file ID: registering the same backing array
+		// twice would leak IDs and split the read/write sets.
+		id := j.FileByBase(&c.regs[0])
+		if id == 0 {
+			id = j.RegisterFile(c.regs[:])
+		}
+		c.regsTap = j.Tap(id)
 	} else {
 		c.jitPoison = nil
 		c.regsTap = nil
@@ -28,6 +36,23 @@ func (c *CPU) SetJIT(j *jit.Engine) {
 func (c *CPU) JITPoison() {
 	if c.jitPoison != nil {
 		c.jitPoison()
+	}
+}
+
+// SetJITSharedPoison installs (or removes, with nil) the shared-state
+// poison hook consulted by JITPoisonShared. The SMP epoch engine binds it
+// for the duration of a parallel run.
+func (c *CPU) SetJITSharedPoison(fn func()) { c.jitPoisonShared = fn }
+
+// JITPoisonShared poisons recordings whose correctness depends on
+// machine-shared state the per-vCPU shard walks exclude: the reader's own
+// in-flight recording is poisoned AND every sibling shard currently
+// recording is flagged (the shared word it read may be mid-update from
+// this goroutine's point of view at replay time). Outside SMP shard mode
+// this is a no-op — the full-machine walk already guards shared state.
+func (c *CPU) JITPoisonShared() {
+	if c.jitPoisonShared != nil {
+		c.jitPoisonShared()
 	}
 }
 

@@ -52,9 +52,13 @@ type Report struct {
 	// SMP marks a report of the SMP scale-out sweep: suites are the
 	// sweep's cells (named smp-<profile>-<vcpus>), timed by their
 	// parallel runs, and SMPCells carries the per-cell detail.
-	SMP      bool         `json:"smp,omitempty"`
-	SMPCells []SMPCell    `json:"smp_cells,omitempty"`
-	Suites   []SuiteStats `json:"suites"`
+	SMP bool `json:"smp,omitempty"`
+	// SMPAdaptive marks a sweep run with adaptive epoch budgets; it gets
+	// its own filename so fixed-budget and adaptive reports of the same
+	// day coexist.
+	SMPAdaptive bool         `json:"smp_adaptive,omitempty"`
+	SMPCells    []SMPCell    `json:"smp_cells,omitempty"`
+	Suites      []SuiteStats `json:"suites"`
 	// TotalWallMS is the wall time of the whole report run.
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -106,17 +110,25 @@ func (h Harness) RunSMPReport() Report { return h.RunSMPReportFor(SMPSweepSpecs(
 // RunSMPReportFor times the sweep restricted to the named registry
 // configs.
 func (h Harness) RunSMPReportFor(names []string) Report {
+	return h.RunSMPReportOpts(names, SMPSweepOptions{})
+}
+
+// RunSMPReportOpts times the sweep restricted to the named registry
+// configs, under the given engine options.
+func (h Harness) RunSMPReportOpts(names []string, opts SMPSweepOptions) Report {
 	r := Report{
 		Date:        time.Now().Format("2006-01-02"),
 		Parallelism: h.Workers(),
 		SMP:         true,
+		SMPAdaptive: opts.Adaptive,
 	}
 	start := time.Now()
-	r.SMPCells = h.RunSMPSweepFor(names)
+	r.SMPCells = h.RunSMPSweepOpts(names, opts)
 	for _, c := range r.SMPCells {
 		name := fmt.Sprintf("smp-%s-%d", c.Profile, c.VCPUs)
 		wall := time.Duration(c.ParWallMS * float64(time.Millisecond))
-		r.Suites = append(r.Suites, suiteStats(name, wall, c.VCPUs, c.VClock, trace.JITStats{}))
+		js := trace.JITStats{Hits: c.JITHits, Misses: c.JITMisses, Bailouts: c.JITBailouts}
+		r.Suites = append(r.Suites, suiteStats(name, wall, c.VCPUs, c.VClock, js))
 	}
 	r.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 	return r
@@ -126,12 +138,19 @@ func (h Harness) RunSMPReportFor(names []string) Report {
 func FormatSMPReport(r Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "SMP scale-out report (%s)\n", r.Date)
-	fmt.Fprintf(&b, "%-8s %-10s %6s %10s %10s %9s %10s %8s %10s %6s\n",
-		"config", "profile", "vcpus", "seq ms", "par ms", "speedup", "epochs", "distops", "contention", "ident")
+	fmt.Fprintf(&b, "%-8s %-12s %6s %8s %10s %10s %9s %8s %8s %10s %18s %9s %6s\n",
+		"config", "profile", "vcpus", "budget", "seq ms", "par ms", "speedup",
+		"epochs", "distops", "contention", "jit h/m/b", "barr ms", "ident")
 	for _, c := range r.SMPCells {
-		fmt.Fprintf(&b, "%-8s %-10s %6d %10.2f %10.2f %8.2fx %10d %8d %10d %6v\n",
-			c.Config, c.Profile, c.VCPUs, c.SeqWallMS, c.ParWallMS, c.SpeedupX,
-			c.Epochs, c.DistOps, c.Contention, c.Identical)
+		budget := fmt.Sprintf("%d", c.FinalBudget)
+		if c.Adaptive {
+			budget = "a:" + budget
+		}
+		fmt.Fprintf(&b, "%-8s %-12s %6d %8s %10.2f %10.2f %8.2fx %8d %8d %10d %18s %9.2f %6v\n",
+			c.Config, c.Profile, c.VCPUs, budget, c.SeqWallMS, c.ParWallMS, c.SpeedupX,
+			c.Epochs, c.DistOps, c.Contention,
+			fmt.Sprintf("%d/%d/%d", c.JITHits, c.JITMisses, c.JITBailouts),
+			c.BarrierWaitMS, c.Identical)
 	}
 	fmt.Fprintf(&b, "total    %10.1f ms\n", r.TotalWallMS)
 	return b.String()
@@ -179,6 +198,9 @@ func (r Report) Filename() string {
 	}
 	if r.SMP {
 		name += "-smp"
+	}
+	if r.SMPAdaptive {
+		name += "-adaptive"
 	}
 	return name + ".json"
 }

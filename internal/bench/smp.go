@@ -5,6 +5,7 @@ import (
 
 	"github.com/nevesim/neve/internal/kvm"
 	"github.com/nevesim/neve/internal/platform"
+	"github.com/nevesim/neve/internal/trace"
 	"github.com/nevesim/neve/internal/workload"
 )
 
@@ -12,7 +13,7 @@ import (
 // SMPProfiles) on the registry's smp configurations, each cell run twice —
 // sequential and parallel epochs — so the report carries both the
 // wall-clock speedup and the byte-equivalence verdict. Cells run one at a
-// time: each parallel cell already fans out one goroutine per vCPU, so
+// time: each parallel cell already fans out one worker per vCPU, so
 // stacking cell-level workers on top would oversubscribe the host
 // (effective parallelism is min(vCPUs, host cores) per cell, not
 // Workers()).
@@ -20,12 +21,45 @@ import (
 // SMPSweepSpecs are the registry configurations of the scale-out sweep.
 func SMPSweepSpecs() []string { return []string{"smp8", "smp16", "smp64"} }
 
+// SMPSweepOptions parameterizes a sweep run.
+type SMPSweepOptions struct {
+	// Budget is a fixed epoch budget in guest cycles (0 = the engine
+	// default) — the explicit -budget axis of the sensitivity table.
+	Budget uint64
+	// Adaptive lets the engine retune the budget at each barrier from
+	// the epoch's cross-vCPU traffic.
+	Adaptive bool
+	// Profiles restricts the sweep to the named workload profiles (nil =
+	// all).
+	Profiles []string
+}
+
+func (o SMPSweepOptions) profiles() []workload.SMPProfile {
+	all := workload.SMPProfiles()
+	if len(o.Profiles) == 0 {
+		return all
+	}
+	var out []workload.SMPProfile
+	for _, name := range o.Profiles {
+		if p, ok := workload.SMPProfileByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // SMPCell is one (configuration x profile) measurement of the sweep.
 type SMPCell struct {
 	// Config is the registry spec name; VCPUs its machine width.
 	Config  string `json:"config"`
 	Profile string `json:"profile"`
 	VCPUs   int    `json:"vcpus"`
+	// Budget is the configured epoch budget (0 = engine default);
+	// Adaptive marks budget auto-tuning, and FinalBudget is the budget
+	// in effect when the parallel run finished.
+	Budget      uint64 `json:"budget,omitempty"`
+	Adaptive    bool   `json:"adaptive,omitempty"`
+	FinalBudget uint64 `json:"final_budget"`
 	// SeqWallMS/ParWallMS are the wall-clock times of the sequential and
 	// parallel runs; SpeedupX is their ratio (>1 = parallel faster).
 	SeqWallMS float64 `json:"seq_wall_ms"`
@@ -42,6 +76,18 @@ type SMPCell struct {
 	VClock     uint64 `json:"vclock"`
 	DistOps    uint64 `json:"dist_ops"`
 	Contention uint64 `json:"contention"`
+	// JITHits/JITMisses/JITBailouts are the parallel run's per-vCPU JIT
+	// shard dispatch counters (zero with jit=off). They are host-side
+	// measurements, like the wall times: the sequential run's counters
+	// may differ (cross-shard poison is conservative) without affecting
+	// the equivalence verdict, which compares guest-visible state only.
+	JITHits     uint64 `json:"jit_hits"`
+	JITMisses   uint64 `json:"jit_misses"`
+	JITBailouts uint64 `json:"jit_bailouts"`
+	// BarrierWaitMS is the wall clock the parallel run's coordinator
+	// spent waiting at epoch-end barriers: the synchronization share of
+	// ParWallMS.
+	BarrierWaitMS float64 `json:"barrier_wait_ms"`
 }
 
 // smpPrograms adapts a workload SMP profile to the kvm engine.
@@ -60,16 +106,29 @@ type smpFingerprint struct {
 	stats  kvm.SMPStats
 	cycles []uint64
 	traps  uint64
+	// jit and barrierWait ride along for reporting; equivalent() ignores
+	// both (host-side measurements, not guest-visible state).
+	jit         trace.JITStats
+	barrierWait time.Duration
 }
 
-func runSMPCell(spec platform.Spec, p workload.SMPProfile, parallel bool) (smpFingerprint, time.Duration) {
+func runSMPCell(spec platform.Spec, p workload.SMPProfile, parallel bool, opts SMPSweepOptions) (smpFingerprint, time.Duration) {
 	s := platform.MustBuild(spec).ARM()
 	n := len(s.M.CPUs)
 	progs := smpPrograms(p, n)
 	start := time.Now()
-	stats := s.RunSMPOpts(progs, kvm.SMPOptions{Parallel: parallel})
+	stats := s.RunSMPOpts(progs, kvm.SMPOptions{
+		Parallel:    parallel,
+		EpochBudget: opts.Budget,
+		Adaptive:    opts.Adaptive,
+	})
 	wall := time.Since(start)
-	fp := smpFingerprint{stats: stats, traps: s.M.Trace.Total()}
+	fp := smpFingerprint{
+		stats:       stats,
+		traps:       s.M.Trace.Total(),
+		jit:         s.SMPJITStats(),
+		barrierWait: s.LastSMPBarrierWait(),
+	}
 	for _, c := range s.M.CPUs {
 		fp.cycles = append(fp.cycles, c.Cycles())
 	}
@@ -99,24 +158,40 @@ func (h Harness) RunSMPSweep() []SMPCell { return h.RunSMPSweepFor(SMPSweepSpecs
 // RunSMPSweepFor measures the sweep cells of the named registry configs
 // only (cmd/nevesim's -cpus filter).
 func (h Harness) RunSMPSweepFor(names []string) []SMPCell {
+	return h.RunSMPSweepOpts(names, SMPSweepOptions{})
+}
+
+// RunSMPSweepOpts measures the sweep cells of the named registry configs
+// under the given engine options.
+func (h Harness) RunSMPSweepOpts(names []string, opts SMPSweepOptions) []SMPCell {
 	var out []SMPCell
 	for _, name := range names {
 		spec := platform.MustLookup(name)
-		for _, p := range workload.SMPProfiles() {
-			seq, seqWall := runSMPCell(spec, p, false)
-			par, parWall := runSMPCell(spec, p, true)
+		if h.JITOff {
+			spec.JITOff = true
+		}
+		for _, p := range opts.profiles() {
+			seq, seqWall := runSMPCell(spec, p, false, opts)
+			par, parWall := runSMPCell(spec, p, true, opts)
 			cell := SMPCell{
-				Config:     name,
-				Profile:    p.Name,
-				VCPUs:      len(seq.cycles),
-				SeqWallMS:  float64(seqWall.Microseconds()) / 1000,
-				ParWallMS:  float64(parWall.Microseconds()) / 1000,
-				Identical:  seq.equivalent(par),
-				Parallel:   par.stats.Parallel,
-				Epochs:     par.stats.Epochs,
-				VClock:     par.stats.VClock,
-				DistOps:    par.stats.DistOps,
-				Contention: par.stats.Contention,
+				Config:        name,
+				Profile:       p.Name,
+				VCPUs:         len(seq.cycles),
+				Budget:        opts.Budget,
+				Adaptive:      opts.Adaptive,
+				FinalBudget:   par.stats.FinalBudget,
+				SeqWallMS:     float64(seqWall.Microseconds()) / 1000,
+				ParWallMS:     float64(parWall.Microseconds()) / 1000,
+				Identical:     seq.equivalent(par),
+				Parallel:      par.stats.Parallel,
+				Epochs:        par.stats.Epochs,
+				VClock:        par.stats.VClock,
+				DistOps:       par.stats.DistOps,
+				Contention:    par.stats.Contention,
+				JITHits:       par.jit.Hits,
+				JITMisses:     par.jit.Misses,
+				JITBailouts:   par.jit.Bailouts,
+				BarrierWaitMS: float64(par.barrierWait.Microseconds()) / 1000,
 			}
 			if parWall > 0 {
 				cell.SpeedupX = seqWall.Seconds() / parWall.Seconds()

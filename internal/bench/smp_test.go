@@ -24,8 +24,8 @@ func TestSMPEquivalenceAcrossRegistry(t *testing.T) {
 		}
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
-			seq, _ := runSMPCell(spec, prof, false)
-			par, _ := runSMPCell(spec, prof, true)
+			seq, _ := runSMPCell(spec, prof, false, SMPSweepOptions{})
+			par, _ := runSMPCell(spec, prof, true, SMPSweepOptions{})
 			if !seq.equivalent(par) {
 				t.Errorf("parallel diverges from sequential:\n seq %+v traps %d\n par %+v traps %d",
 					seq.stats, seq.traps, par.stats, par.traps)

@@ -133,10 +133,20 @@ func (d *Dist) check(intid int) int {
 // latched pending.
 func (d *Dist) AssertSPI(intid int) {
 	d.check(intid)
-	d.touch(intid)
 	if intid < MinSPI {
 		panic(fmt.Sprintf("gic: AssertSPI of non-SPI %d", intid))
 	}
+	// Enabled, not latched: the common post-boot case. Deliver without
+	// touching distributor state at all — the transient pending set/clear
+	// nets out, and skipping touch() keeps concurrent in-segment
+	// self-delivery (a core asserting its own timer or device interrupt)
+	// free of writes to shared words; only the target core's walked
+	// pending queue mutates.
+	if d.enabled[intid] && !d.pending[intid] {
+		d.deliver(d.route[intid], intid)
+		return
+	}
+	d.touch(intid)
 	if !d.enabled[intid] {
 		d.setPending(intid, true)
 		return
@@ -150,6 +160,11 @@ func (d *Dist) AssertSPI(intid int) {
 // AssertSPI).
 func (d *Dist) AssertPPI(cpu, intid int) {
 	d.check(intid)
+	// Mutation-free fast path; see AssertSPI.
+	if d.enabled[intid] && !d.pending[intid] {
+		d.deliver(cpu, intid)
+		return
+	}
 	d.touch(intid)
 	if !d.enabled[intid] {
 		d.setPending(intid, true)

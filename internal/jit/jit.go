@@ -20,7 +20,11 @@
 // behavioral difference.
 package jit
 
-import "github.com/nevesim/neve/internal/trace"
+import (
+	"sync/atomic"
+
+	"github.com/nevesim/neve/internal/trace"
+)
 
 // ExcWords is the number of packed words identifying a trap cause; the
 // (cpu, cause) pair keys the recorder.
@@ -475,6 +479,19 @@ type Engine struct {
 	preShapes, postShapes []uint64
 	sfreads, sfwrites     []fileWord
 	sprobes               []Probe
+
+	// asyncPoison is the cross-goroutine poison flag for per-vCPU shard
+	// engines: a sibling vCPU that mutates state outside every shard's
+	// walk (shared memory, the distributor, another vCPU's chain) sets it
+	// with PoisonAsync, and the owning goroutine consumes it in EndRecord
+	// before promotion. It is cleared when a recording begins, so a
+	// mutation that fully preceded the recording (whose capture already
+	// saw the post-mutation state) cannot poison it spuriously.
+	asyncPoison atomic.Bool
+	// recGauge, when set, counts this engine's in-flight recordings in a
+	// caller-shared atomic: the SMP fan-out taps consult it to skip the
+	// poison broadcast entirely while no shard is recording.
+	recGauge *int64
 }
 
 // New returns an engine over the given walk sources. threshold <= 0 selects
@@ -640,6 +657,14 @@ func (e *Engine) walk(w *W) {
 // beginRecord starts capturing the in-flight trap: it snapshots the guard
 // vector, clocks, and trace counters, and arms the poison taps.
 func (e *Engine) beginRecord(cpu int, exc *[ExcWords]uint64, ent *entry) {
+	// A sibling-shard mutation that fully preceded this recording is
+	// already reflected in the capture below; only mutations from here to
+	// EndRecord may poison, so the async flag starts clean. The gauge goes
+	// up first: a mutation racing with the capture walk still broadcasts.
+	if e.recGauge != nil {
+		atomic.AddInt64(e.recGauge, 1)
+	}
+	e.asyncPoison.Store(false)
 	rec := &recording{cpu: cpu, exc: *exc, ent: ent}
 	rec.freads = e.sfreads[:0]
 	rec.fwrites = e.sfwrites[:0]
@@ -675,6 +700,17 @@ func (e *Engine) EndRecord(retVal uint64) {
 	e.rec = nil
 	if e.hooks.Disarm != nil {
 		e.hooks.Disarm()
+	}
+	// Consume the cross-goroutine poison before deciding promotion, then
+	// drop out of the broadcast set. The interpreted handler has returned,
+	// so every sibling mutation that could have influenced it has already
+	// set the flag (the epoch engine serializes genuinely-shared effects
+	// at barriers; the flag covers the conservative fan-out taps).
+	if e.asyncPoison.Swap(false) {
+		rec.poisoned = true
+	}
+	if e.recGauge != nil {
+		atomic.AddInt64(e.recGauge, -1)
 	}
 	// The counter log must be disarmed on every path out of this function;
 	// EndCounterLog below reads it before this runs.
@@ -782,6 +818,10 @@ func (e *Engine) AbortRecord() {
 	if e.hooks.Disarm != nil {
 		e.hooks.Disarm()
 	}
+	e.asyncPoison.Store(false)
+	if e.recGauge != nil {
+		atomic.AddInt64(e.recGauge, -1)
+	}
 	e.hooks.Trace.AbortCounterLog()
 	e.sfreads, e.sfwrites, e.sprobes = rec.freads[:0], rec.fwrites[:0], rec.probes[:0]
 	rec.ent.poison++
@@ -793,6 +833,31 @@ func (e *Engine) Poison() {
 	if e.rec != nil {
 		e.rec.poisoned = true
 	}
+}
+
+// PoisonAsync marks any in-flight recording non-promotable from another
+// goroutine. Unlike Poison it only sets an atomic flag — the owning
+// goroutine consumes it in EndRecord — so sibling vCPU shards can
+// broadcast "I touched state outside your walk" without a data race on
+// the recording itself. Safe to call at any time; a set flag with no
+// recording in flight is cleared by the next beginRecord.
+func (e *Engine) PoisonAsync() { e.asyncPoison.Store(true) }
+
+// SetRecGauge points the engine at a caller-shared atomic counting its
+// in-flight recordings (+1 at beginRecord, -1 when the recording ends on
+// any path). The SMP fan-out taps read the summed gauge to skip the
+// poison broadcast while no shard is recording. Pass nil to detach.
+func (e *Engine) SetRecGauge(g *int64) { e.recGauge = g }
+
+// SetTrace rebinds the trace collector the engine logs counter deltas
+// against. The epoch engine points each vCPU shard at that vCPU's
+// per-run trace shard and restores the parent at teardown. Must not be
+// called with a recording in flight.
+func (e *Engine) SetTrace(t *trace.Collector) {
+	if e.rec != nil {
+		panic("jit: SetTrace with a recording in flight")
+	}
+	e.hooks.Trace = t
 }
 
 // Recording reports whether a capture is in flight.
@@ -829,6 +894,10 @@ func (e *Engine) Quiesce() {
 	e.rec = nil
 	if e.hooks.Disarm != nil {
 		e.hooks.Disarm()
+	}
+	e.asyncPoison.Store(false)
+	if e.recGauge != nil {
+		atomic.AddInt64(e.recGauge, -1)
 	}
 	e.hooks.Trace.AbortCounterLog()
 	e.sfreads, e.sfwrites, e.sprobes = rec.freads[:0], rec.fwrites[:0], rec.probes[:0]

@@ -2,6 +2,8 @@ package kvm
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"github.com/nevesim/neve/internal/arm"
 	"github.com/nevesim/neve/internal/gic"
@@ -11,14 +13,14 @@ import (
 
 // The deterministic epoch-lockstep SMP engine.
 //
-// Each vCPU runs its trap-and-emulate stream on its own goroutine; the
-// run is divided into epochs of at most EpochBudget guest cycles. Within
-// an epoch a vCPU touches only per-vCPU state (its CPU model, contexts,
-// VNCR page, private Stage-2 TLB, trace shard), so epochs of different
-// vCPUs may execute genuinely in parallel. Every shared-state effect —
-// SGI/IPI fan-out through the distributor, shared guest RAM, the shared
-// virtio device — is queued (or parked as a thunk) and merged at the
-// epoch barrier in vCPU order on a single thread. Because segment
+// Each vCPU runs its trap-and-emulate stream on its own worker; the run
+// is divided into epochs of at most EpochBudget guest cycles. Within an
+// epoch a vCPU touches only per-vCPU state (its CPU model, contexts,
+// VNCR page, private Stage-2 TLB, trace shard, JIT shard), so epochs of
+// different vCPUs may execute genuinely in parallel. Every shared-state
+// effect — SGI/IPI fan-out through the distributor, shared guest RAM,
+// the shared virtio device — is queued (or parked as a thunk) and merged
+// at the epoch barrier in vCPU order on a single thread. Because segment
 // execution is per-vCPU-pure and barriers are totally ordered, a parallel
 // run is byte-identical to a sequential one: same cycle counts, same trap
 // streams, same guest-visible values. That equivalence is the engine's
@@ -28,15 +30,30 @@ import (
 // distributor transaction merged within one epoch is charged
 // k*CostModel.DistContention cycles on its initiating vCPU, reproducing
 // the serialization that concurrent SGI writes suffer on real hardware.
+//
+// Synchronization (parallel mode) is two sense-reversing barriers with
+// fixed membership (n workers + the coordinator): bStart releases an
+// epoch, bEnd ends it. Compared to the per-epoch channel pairs of the
+// first version, an epoch costs two barrier crossings total instead of
+// 2n channel operations, and retired workers keep pacing the barriers as
+// lame ducks so membership never changes mid-run. Workers come from a
+// process-wide pool and are reused across runs and sweep cells.
 
 // defaultEpochBudget is the guest-cycle length of one epoch when
 // SMPOptions.EpochBudget is zero. Long enough to amortize barrier
 // synchronization, short enough to bound IPI delivery latency.
 const defaultEpochBudget = 20000
 
+// Adaptive epoch budgets double on quiet epochs and halve on chatty ones
+// within these bounds.
+const (
+	minEpochBudget = 1000
+	maxEpochBudget = 262144
+)
+
 // SMPOptions configures an SMP run.
 type SMPOptions struct {
-	// Parallel runs vCPU epochs on concurrent goroutines. The result is
+	// Parallel runs vCPU epochs on concurrent workers. The result is
 	// byte-identical to a sequential run; only wall-clock time differs.
 	// Configurations whose segment execution is not per-vCPU-pure (GICv2
 	// shadow pages, fault hooks, copy-on-write restored memory) fall back
@@ -44,11 +61,23 @@ type SMPOptions struct {
 	Parallel bool
 	// EpochBudget is the maximum guest cycles a vCPU executes per epoch
 	// (0 = defaultEpochBudget). RunSMP uses 1 for legacy strict
-	// round-robin interleaving.
+	// round-robin interleaving. With Adaptive set it is only the starting
+	// budget.
 	EpochBudget uint64
+	// Adaptive retunes the epoch budget at each barrier from the epoch's
+	// cross-vCPU traffic: a quiet epoch (no distributor transactions)
+	// doubles the budget up to maxEpochBudget, a chatty one (more
+	// transactions than active vCPUs) halves it down to minEpochBudget.
+	// The inputs are virtual-time statistics only, so the budget
+	// trajectory — and therefore the run — stays deterministic and
+	// identical between parallel and sequential execution.
+	Adaptive bool
 }
 
-// SMPStats summarizes a completed SMP run.
+// SMPStats summarizes a completed SMP run. Every field is derived from
+// virtual time and merge order only, so parallel and sequential runs of
+// the same programs produce equal SMPStats (wall-clock measurements live
+// on the Stack; see LastSMPBarrierWait).
 type SMPStats struct {
 	// VCPUs is the number of vCPU programs run.
 	VCPUs int
@@ -65,6 +94,89 @@ type SMPStats struct {
 	// Contention is the total distributor serialization penalty charged
 	// (cycles), per the CostModel.DistContention model.
 	Contention uint64
+	// FinalBudget is the epoch budget in effect when the run finished:
+	// the configured budget for fixed-budget runs, the converged value
+	// for adaptive ones.
+	FinalBudget uint64
+}
+
+// senseBarrier is a reusable sense-reversing barrier with fixed
+// membership. Unlike sync.WaitGroup it needs no re-arming between
+// phases: each crossing flips the sense, so the same two barrier values
+// pace every epoch of a run.
+type senseBarrier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	parties int
+	waiting int
+	sense   bool
+}
+
+func newSenseBarrier(parties int) *senseBarrier {
+	b := &senseBarrier{parties: parties}
+	b.cond.L = &b.mu
+	return b
+}
+
+// await blocks until all parties have arrived, then releases them
+// together. The barrier's mutex makes every write before an arrival
+// happen-before every read after the release.
+func (b *senseBarrier) await() {
+	b.mu.Lock()
+	sense := b.sense
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.sense = !sense
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.sense == sense {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// smpWorker is a pooled goroutine executing one job at a time. The jobs
+// channel is unbuffered, so handing a worker its next job synchronizes
+// with the completion of its previous one — a worker may be released to
+// the pool as soon as its job is logically finished.
+type smpWorker struct {
+	jobs chan func()
+}
+
+var (
+	smpPoolMu   sync.Mutex
+	smpPoolFree []*smpWorker
+)
+
+// acquireSMPWorker takes a worker from the process-wide pool, spawning
+// one if the pool is empty. Workers persist for the process lifetime:
+// across RunSMPOpts calls, sweep cells, and stacks, so steady-state SMP
+// runs spawn no goroutines at all.
+func acquireSMPWorker() *smpWorker {
+	smpPoolMu.Lock()
+	if n := len(smpPoolFree); n > 0 {
+		w := smpPoolFree[n-1]
+		smpPoolFree = smpPoolFree[:n-1]
+		smpPoolMu.Unlock()
+		return w
+	}
+	smpPoolMu.Unlock()
+	w := &smpWorker{jobs: make(chan func())}
+	go func() {
+		for job := range w.jobs {
+			job()
+		}
+	}()
+	return w
+}
+
+func releaseSMPWorker(w *smpWorker) {
+	smpPoolMu.Lock()
+	smpPoolFree = append(smpPoolFree, w)
+	smpPoolMu.Unlock()
 }
 
 // parkKind labels why a vCPU worker parked back to the coordinator.
@@ -83,7 +195,7 @@ const (
 	// parkFinishing: the program returned; the exit epilogue (cold
 	// context switch out) is pending and must run serialized.
 	parkFinishing
-	// parkDone: the worker goroutine has fully retired.
+	// parkDone: the worker has fully retired its program.
 	parkDone
 )
 
@@ -99,17 +211,32 @@ type smpPark struct {
 type smpEngine struct {
 	s        *Stack
 	n        int
-	budget   uint64
 	parallel bool
+	adaptive bool
+	// budget is the current epoch budget. Workers read it between
+	// barriers; the coordinator retunes it (adaptive mode) during the
+	// merge, while every worker is parked — the barrier crossing is the
+	// happens-before edge in both directions.
+	budget uint64
 
-	// resume[i]/parks[i] implement the worker handshake: a worker blocks
-	// on resume[i], runs one segment, and reports back on parks[i]. Both
-	// are unbuffered, so every segment boundary is a happens-before edge
-	// between coordinator and worker.
+	// resume[i]/parked[i] carry the per-vCPU handshakes that stay
+	// serialized in every mode: entry, exit epilogues, and (sequential
+	// mode) each segment. They are pure signals; the park payload
+	// travels in state[i], written by worker i before it signals.
 	resume []chan struct{}
-	parks  []chan smpPark
+	parked []chan struct{}
 	state  []smpPark
 	done   []bool
+
+	// bStart/bEnd pace parallel epochs; membership is fixed at n+1
+	// (workers + coordinator). over releases lame-duck workers after the
+	// final epoch; it is written before the coordinator's last bStart
+	// crossing and read after the workers'.
+	bStart, bEnd *senseBarrier
+	over         bool
+	// barrierWait accumulates the coordinator's wall-clock wait at bEnd:
+	// the synchronization share of the run.
+	barrierWait time.Duration
 
 	ipis   *gic.EpochQueue
 	guests []*SMPGuest
@@ -140,16 +267,19 @@ func (s *Stack) RunSMPOpts(programs []func(g *SMPGuest), opts SMPOptions) SMPSta
 		n:        n,
 		budget:   budget,
 		parallel: opts.Parallel && s.parallelSafe(n),
+		adaptive: opts.Adaptive,
 		resume:   make([]chan struct{}, n),
-		parks:    make([]chan smpPark, n),
+		parked:   make([]chan struct{}, n),
 		state:    make([]smpPark, n),
 		done:     make([]bool, n),
+		bStart:   newSenseBarrier(n + 1),
+		bEnd:     newSenseBarrier(n + 1),
 		ipis:     gic.NewEpochQueue(n),
 		guests:   make([]*SMPGuest, n),
 	}
 	for i := 0; i < n; i++ {
 		e.resume[i] = make(chan struct{})
-		e.parks[i] = make(chan smpPark)
+		e.parked[i] = make(chan struct{})
 	}
 	e.stats.VCPUs = n
 	e.stats.Parallel = e.parallel
@@ -159,8 +289,10 @@ func (s *Stack) RunSMPOpts(programs []func(g *SMPGuest), opts SMPOptions) SMPSta
 	e.run(programs)
 	teardown()
 	s.smpRunning = false
+	s.smpBarrierWait = e.barrierWait
 
 	e.stats.DistOps = e.ipis.Ops()
+	e.stats.FinalBudget = e.budget
 	s.lastSMP = e.stats
 	return e.stats
 }
@@ -169,7 +301,7 @@ func (s *Stack) RunSMPOpts(programs []func(g *SMPGuest), opts SMPOptions) SMPSta
 func (s *Stack) LastSMP() SMPStats { return s.lastSMP }
 
 // parallelSafe reports whether segment execution is per-vCPU-pure in this
-// configuration, i.e. whether epochs may run on concurrent goroutines.
+// configuration, i.e. whether epochs may run on concurrent workers.
 func (s *Stack) parallelSafe(n int) bool {
 	for _, h := range s.hyps() {
 		if h.Cfg.GICv2 {
@@ -202,14 +334,17 @@ func (s *Stack) parallelSafe(n int) bool {
 //     make miss patterns independent of sibling scheduling);
 //   - machine memory switches to concurrent mode (drops the last-page
 //     cache, a pure performance shortcut);
-//   - the trace-JIT is detached: recordings interleave across vCPUs and
-//     super-op dispatch mutates shared chain state. Mirrors the PR 6
-//     gating that already excludes JIT from traced/faulted runs.
+//   - when the stack has a JIT, each running CPU switches from the
+//     whole-stack engine (whose walk and chain state span all cores) to
+//     its persistent per-vCPU shard engine — see jitshard.go.
 func (s *Stack) smpSetup(n int) func() {
 	m := s.M
 	parent := m.Trace
 	shards := make([]*trace.Collector, n)
 	oldS2 := make([]arm.Stage2, n)
+	for len(s.smpS2) < n {
+		s.smpS2 = append(s.smpS2, nil)
+	}
 	for i := 0; i < n; i++ {
 		c := m.CPUs[i]
 		sh := trace.NewCollector(parent.Recording())
@@ -220,30 +355,40 @@ func (s *Stack) smpSetup(n int) func() {
 		shards[i] = sh
 		c.Trace = sh
 		oldS2[i] = c.S2
-		c.S2 = &mmu.Stage2{Mem: m.Mem, TLB: mmu.NewTLB(512), WalkCost: m.S2.WalkCost}
+		s2 := &mmu.Stage2{Mem: m.Mem, TLB: mmu.NewTLB(512), WalkCost: m.S2.WalkCost}
+		s.smpS2[i] = s2
+		c.S2 = s2
 		c.SetJIT(nil)
+	}
+	var detachJIT func()
+	if s.jit != nil {
+		detachJIT = s.smpAttachJIT(n, shards)
 	}
 	m.Mem.SetConcurrent(true)
 	return func() {
 		m.Mem.SetConcurrent(false)
+		if detachJIT != nil {
+			// Before the trace shards merge: detaching quiesces the shard
+			// engines, which may log to the shard collectors.
+			detachJIT()
+		}
 		for i := 0; i < n; i++ {
 			c := m.CPUs[i]
 			parent.Merge(shards[i])
 			c.Trace = parent
 			c.S2 = oldS2[i]
-			if s.jit != nil {
-				c.SetJIT(s.jit)
-			}
 		}
 	}
 }
 
 // run executes the worker protocol to completion.
 func (e *smpEngine) run(programs []func(g *SMPGuest)) {
+	workers := make([]*smpWorker, e.n)
 	for i := 0; i < e.n; i++ {
 		i := i
 		e.guests[i] = &SMPGuest{eng: e, id: i}
-		go func() {
+		workers[i] = acquireSMPWorker()
+		workers[i].jobs <- func() {
 			<-e.resume[i]
 			e.s.runOn(i, func(g *GuestCtx) {
 				sg := e.guests[i]
@@ -253,46 +398,73 @@ func (e *smpEngine) run(programs []func(g *SMPGuest)) {
 				programs[i](sg)
 				sg.park(smpPark{kind: parkFinishing})
 			})
-			e.parks[i] <- smpPark{kind: parkDone}
-		}()
+			e.state[i] = smpPark{kind: parkDone}
+			e.parked[i] <- struct{}{}
+			if e.parallel {
+				// Lame duck: the sense barriers have fixed membership, so
+				// a retired worker keeps pacing them until the run is over.
+				for {
+					e.bStart.await()
+					if e.over {
+						return
+					}
+					e.bEnd.await()
+				}
+			}
+		}
 	}
+	defer func() {
+		for _, w := range workers {
+			releaseSMPWorker(w)
+		}
+	}()
 
 	// Serialized entry: context-chain entry allocates from shared bump
 	// allocators (guest page tables, VNCR pages), so each vCPU enters
 	// alone, in vCPU order, before any epoch runs.
 	for i := 0; i < e.n; i++ {
 		e.resume[i] <- struct{}{}
-		e.state[i] = <-e.parks[i]
+		<-e.parked[i]
 		if e.state[i].kind != parkEntered {
 			panic("kvm: SMP worker parked before completing entry")
 		}
 	}
 
+	first := true
 	for {
 		act := activeVCPUs(e.done)
 		if len(act) == 0 {
-			return
+			break
 		}
 		e.stats.Epochs++
-		if e.parallel && len(act) > 1 {
-			// Parallel epoch: all segments at once, parks collected in
-			// vCPU order (collection order is irrelevant — no segment
-			// touches shared state — but fixed order keeps the
-			// coordinator itself deterministic).
-			for _, i := range act {
-				e.resume[i] <- struct{}{}
+		if e.parallel {
+			if first {
+				// After entry every worker is blocked on its resume
+				// channel; the first epoch is released there. All later
+				// epochs release through bStart.
+				for i := 0; i < e.n; i++ {
+					e.resume[i] <- struct{}{}
+				}
+				first = false
+			} else {
+				e.bStart.await()
 			}
-			for _, i := range act {
-				e.state[i] = <-e.parks[i]
-			}
+			t0 := time.Now()
+			e.bEnd.await()
+			e.barrierWait += time.Since(t0)
 		} else {
 			// Sequential epoch: one segment at a time, vCPU order.
 			for _, i := range act {
 				e.resume[i] <- struct{}{}
-				e.state[i] = <-e.parks[i]
+				<-e.parked[i]
 			}
 		}
-		e.barrier(act)
+		e.merge(act)
+	}
+	if e.parallel && !first {
+		// Release the lame ducks into retirement.
+		e.over = true
+		e.bStart.await()
 	}
 }
 
@@ -307,11 +479,11 @@ func activeVCPUs(done []bool) []int {
 	return out
 }
 
-// barrier merges the epoch's shared-state effects on the coordinator
-// thread, in strict vCPU order. Every parked worker is blocked on its
-// resume channel, so the coordinator may operate on any parked vCPU's CPU
-// context race-free.
-func (e *smpEngine) barrier(act []int) {
+// merge applies the epoch's shared-state effects on the coordinator
+// thread, in strict vCPU order. Every parked worker has crossed bEnd (or
+// signaled parked[i] in sequential mode), so the coordinator may operate
+// on any parked vCPU's CPU context race-free.
+func (e *smpEngine) merge(act []int) {
 	// 1. Parked shared-state operations (RAM, shared device registers).
 	for _, i := range act {
 		if e.state[i].kind == parkBarrier && e.state[i].op != nil {
@@ -319,27 +491,37 @@ func (e *smpEngine) barrier(act []int) {
 			e.state[i].op = nil
 		}
 	}
-	// 2. Distributor merge: queued SGIs replay through the sender's full
-	// trap-and-emulate path (the same ICC_SGI1R_EL1 write the guest would
-	// have executed), so trap costs and delivery are identical to a
-	// sequential stream. The k-th transaction this epoch pays k units of
-	// distributor contention.
+	// 2. Distributor merge, one sender lane at a time: queued SGIs replay
+	// through the sender's full trap-and-emulate path (the same
+	// ICC_SGI1R_EL1 write the guest would have executed), so trap costs
+	// and delivery are identical to a sequential stream. The k-th
+	// transaction this epoch pays k units of distributor contention,
+	// summed per lane and charged in one batch — byte-identical totals
+	// to the per-transaction form, one AddCycles per sender.
 	cost := e.s.M.CPUs[0].Cost.DistContention
-	e.ipis.Drain(func(sender int, sgi gic.SGI, k int) {
+	opsBefore := e.ipis.Ops()
+	e.ipis.DrainSenders(func(sender int, lane []gic.SGI, base int) {
 		g := e.guests[sender]
-		g.GuestCtx.SendIPI(sgi.Target, sgi.INTID)
-		if k > 0 {
-			pen := uint64(k) * cost
+		var pen uint64
+		for j, sgi := range lane {
+			g.GuestCtx.SendIPI(sgi.Target, sgi.INTID)
+			if k := base + j; k > 0 {
+				pen += uint64(k) * cost
+			}
+		}
+		if pen > 0 {
 			g.CPU.AddCycles(pen)
 			e.stats.Contention += pen
 		}
 	})
+	traffic := e.ipis.Ops() - opsBefore
 	// 3. Exit epilogues: finishing vCPUs run their cold context switch
 	// out of the guest one at a time, in vCPU order.
 	for _, i := range act {
 		if e.state[i].kind == parkFinishing {
 			e.resume[i] <- struct{}{}
-			if p := <-e.parks[i]; p.kind != parkDone {
+			<-e.parked[i]
+			if e.state[i].kind != parkDone {
 				panic("kvm: SMP worker parked inside its exit epilogue")
 			}
 			e.done[i] = true
@@ -351,11 +533,44 @@ func (e *smpEngine) barrier(act []int) {
 			e.stats.VClock = c
 		}
 	}
+	// 5. Adaptive retune from this epoch's cross-vCPU traffic. Virtual
+	// time only: the trajectory is identical in parallel and sequential
+	// mode.
+	if e.adaptive {
+		switch {
+		case traffic == 0:
+			if e.budget <= maxEpochBudget/2 {
+				e.budget *= 2
+			} else {
+				e.budget = maxEpochBudget
+			}
+		case traffic > uint64(len(act)):
+			if e.budget/2 >= minEpochBudget {
+				e.budget /= 2
+			} else {
+				e.budget = minEpochBudget
+			}
+		}
+	}
 }
 
-// park blocks the calling worker until the coordinator resumes it.
+// park blocks the calling worker until the coordinator resumes it. The
+// park payload is written to state before the signal; the channel send
+// (or barrier crossing) publishes it.
 func (e *smpEngine) park(id int, p smpPark) {
-	e.parks[id] <- p
+	e.state[id] = p
+	if e.parallel && p.kind != parkEntered {
+		e.bEnd.await()
+		if p.kind == parkFinishing {
+			// The exit epilogue stays channel-serialized even in parallel
+			// mode: the coordinator runs finishing vCPUs one at a time.
+			<-e.resume[id]
+			return
+		}
+		e.bStart.await()
+		return
+	}
+	e.parked[id] <- struct{}{}
 	<-e.resume[id]
 }
 

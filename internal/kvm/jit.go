@@ -177,11 +177,15 @@ func (src *stackSource) walkVM(w *jit.W, vm *VM) {
 		w.Shape(0)
 	}
 	for _, v := range vm.VCPUs {
-		src.walkVCPU(w, v)
+		walkVCPU(w, v)
 	}
 }
 
-func (src *stackSource) walkVCPU(w *jit.W, v *VCPU) {
+// walkVCPU pins one vCPU's replay-relevant state. It is shared between the
+// whole-stack walk and the per-vCPU SMP shard walk (jitshard.go): every
+// word it visits is private to the vCPU, so a shard may Word (and restore)
+// it without racing sibling segments.
+func walkVCPU(w *jit.W, v *VCPU) {
 	if v.EL1.jt == nil || v.VEL2.jt == nil || v.VirtEL1.jt == nil {
 		w.Fail()
 		return
@@ -309,6 +313,9 @@ func (s *Stack) InstallJIT(threshold int) {
 		c.SetJIT(eng)
 	}
 	s.jit = eng
+	// The SMP shard engines (jitshard.go) are built lazily with the same
+	// threshold.
+	s.jitThreshold = threshold
 }
 
 // JIT returns the stack's trace-JIT engine, or nil.

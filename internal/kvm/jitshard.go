@@ -1,0 +1,339 @@
+package kvm
+
+import (
+	"sync/atomic"
+
+	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/jit"
+	"github.com/nevesim/neve/internal/mem"
+	"github.com/nevesim/neve/internal/mmu"
+	"github.com/nevesim/neve/internal/trace"
+)
+
+// Per-vCPU trace-JIT shards for the SMP epoch engine.
+//
+// A single jit.Engine is not safe for concurrent dispatch, which is why
+// PR 7 detached the JIT inside SMP runs. Shards restore the replay win:
+// each running vCPU gets its own engine whose walk covers strictly
+// per-vCPU state — its CPU model, its saved register contexts (re-tapped
+// onto the shard for the run), its vCPU records in every VM, its private
+// per-run Stage-2 TLB — so recordings never interleave across CPUs and
+// dispatch touches no shared chain state.
+//
+// The sharded-JIT invariant: a shard's restore walk writes only words
+// owned by its vCPU. Machine-shared state is handled three ways:
+//   - state that never changes inside an SMP run (VM table roots, the
+//     guest memory allocator cursor, virtio register words — all mutated
+//     only at barriers or not at all) is pinned with Shape words, which
+//     match and guard but never write;
+//   - shared MUTATIONS during a recording are caught by run-long fan-out
+//     taps on memory and the UART that broadcast PoisonAsync to every
+//     shard (gated by the summed recording gauge, so the broadcast costs
+//     one atomic load when nothing is recording);
+//   - shared READS that a replay could not revalidate (distributor enable
+//     bits on interrupt delivery, cross-vCPU pending queues) poison at
+//     the reading call sites via CPU.JITPoisonShared, bound per-run.
+//
+// Shard engines persist on the Stack across RunSMPOpts calls and sweep
+// cells, so super-ops compiled in one run replay in the next. The private
+// TLB is fresh every run (both modes must see identical miss patterns);
+// a per-run generation base keeps stale probe sets from validating
+// against a new TLB whose generation counter restarted.
+
+// shardTables is the identity table set shared by all vCPU shard walks
+// (the same closed sets stackSource precomputes, built once per stack).
+type shardTables struct {
+	sinks         []arm.VIRQSink
+	vcpus         []*VCPU
+	hypList       []*Hypervisor
+	host, gh, gh2 *Hypervisor
+}
+
+// vcpuSource walks one vCPU's slice of the stack for its shard engine.
+type vcpuSource struct {
+	s   *Stack
+	cpu int
+	t   *shardTables
+	// col is the vCPU's per-run trace shard (reset by smpSetup each run);
+	// its mode word is the walk's structural guard, exactly as the parent
+	// collector's is for the whole-stack walk.
+	col *trace.Collector
+}
+
+func (src *vcpuSource) WalkJIT(w *jit.W) {
+	s := src.s
+	w.Shape(src.col.JITMode())
+	c := s.M.CPUs[src.cpu]
+	c.WalkJIT(w)
+	idx := -1
+	for i, sk := range src.t.sinks {
+		if sk == c.VIRQ {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		w.Fail()
+		return
+	}
+	tmp := uint64(idx)
+	w.Word(&tmp)
+	c.VIRQ = src.t.sinks[tmp]
+	if s.Host != src.t.host || s.GuestHyp != src.t.gh || s.GuestHyp2 != src.t.gh2 {
+		w.Fail()
+		return
+	}
+	for _, h := range src.t.hypList {
+		src.walkHyp(w, h)
+	}
+}
+
+// walkHyp pins the vCPU's slice of one hypervisor: its own physical
+// core's host context, loaded slot, and forwarding slot (all Words — no
+// sibling touches them mid-segment), the hypervisor-wide allocator
+// cursors as Shapes (immutable inside a run; a recording that did move
+// them fails shape equality and stays interpreted), and the vCPU's
+// record in each VM.
+func (src *vcpuSource) walkHyp(w *jit.W, h *Hypervisor) {
+	i := src.cpu
+	if h.hostCtxs[i].jt == nil {
+		w.Fail()
+		return
+	}
+	lc := &h.loaded[i]
+	idx := -1
+	for j, v := range src.t.vcpus {
+		if v == lc.vcpu {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
+		w.Fail()
+		return
+	}
+	tmp := uint64(idx) | uint64(lc.mode)<<16
+	w.Word(&tmp)
+	lc.vcpu = src.t.vcpus[tmp&0xffff]
+	lc.mode = runMode(tmp >> 16)
+	if h.pendingFwd[i] != nil {
+		w.Fail()
+		return
+	}
+	if h.guestMem != nil {
+		w.Shape(1<<63 | uint64(h.guestMem.next))
+	} else {
+		w.Shape(0)
+	}
+	w.Shape(uint64(h.nextVMID))
+	for _, vm := range h.VMs {
+		src.walkVM(w, vm)
+	}
+}
+
+func (src *vcpuSource) walkVM(w *jit.W, vm *VM) {
+	shapeTables(w, vm.s2)
+	if vm.virtio != nil {
+		dev := vm.virtio
+		shape := uint64(1)
+		if dev.echo != nil {
+			shape |= 2
+		}
+		w.Shape(shape)
+		w.Shape(dev.queuePFN)
+		w.Shape(dev.queueNum)
+		w.Shape(dev.status | uint64(dev.intStatus)<<32)
+	} else {
+		w.Shape(0)
+	}
+	if src.cpu < len(vm.VCPUs) {
+		walkVCPU(w, vm.VCPUs[src.cpu])
+	}
+}
+
+// shapeTables is walkTables with guard-only semantics: table tree facts
+// are shared across vCPUs, so a shard must never restore (write) them.
+func shapeTables(w *jit.W, t *mmu.Tables) {
+	if t == nil {
+		w.Shape(0)
+		return
+	}
+	w.Shape(1<<63 | uint64(t.Pages()))
+	w.Shape(uint64(t.Root))
+}
+
+// smpShardEngines returns the per-vCPU shard engines for the first n
+// cores, building missing ones (and the shared identity tables) lazily.
+// Engines persist across runs so compiled super-ops survive.
+func (s *Stack) smpShardEngines(n int) []*jit.Engine {
+	if s.smpTables == nil {
+		t := &shardTables{host: s.Host, gh: s.GuestHyp, gh2: s.GuestHyp2}
+		t.hypList = s.hyps()
+		t.sinks = append(t.sinks, nil)
+		t.vcpus = append(t.vcpus, nil)
+		for _, h := range t.hypList {
+			for _, vm := range h.VMs {
+				for _, v := range vm.VCPUs {
+					t.vcpus = append(t.vcpus, v)
+					if v.Guest != nil {
+						t.sinks = append(t.sinks, v.Guest)
+					}
+				}
+			}
+		}
+		s.smpTables = t
+	}
+	for i := len(s.smpShards); i < n; i++ {
+		s.smpShards = append(s.smpShards, s.newShardEngine(i))
+	}
+	return s.smpShards[:n]
+}
+
+// newShardEngine builds the shard for physical CPU i. The hooks see a
+// one-CPU machine (shard clock deltas only ever charge the owning core;
+// cross-core charges happen at barriers, outside recordings) and resolve
+// the private TLB through s.smpS2 at call time, since the TLB is rebuilt
+// every run while the engine persists.
+func (s *Stack) newShardEngine(i int) *jit.Engine {
+	c := s.M.CPUs[i]
+	src := &vcpuSource{s: s, cpu: i, t: s.smpTables}
+	s.smpSrcs = append(s.smpSrcs, src)
+	var eng *jit.Engine
+	hooks := jit.Hooks{
+		NumCPUs:      1,
+		ClockState:   func(int) jit.ClockState { return c.JITClockState() },
+		AdvanceClock: func(_ int, d jit.ClockDelta) { c.JITAdvanceClock(d) },
+		TLBProbe: func(vmid uint16, ia uint64) (pa, perm uint64, ok bool) {
+			a, p, ok := s.smpS2[i].TLB.Probe(vmid, mem.Addr(ia))
+			return uint64(a), uint64(p), ok
+		},
+		TLBAddHits: func(n uint64) { s.smpS2[i].TLB.AddHits(n) },
+		TLBGen:     func() uint64 { return s.smpGenBase + s.smpS2[i].TLB.Gen() },
+		ClockGap:   func(int) uint64 { return c.JITClockGap() },
+		Arm: func() {
+			tlb := s.smpS2[i].TLB
+			tlb.OnMutate = eng.Poison
+			tlb.OnLookup = func(vmid uint16, ia, pa mem.Addr, perm mmu.Perm, hit bool) {
+				eng.LogProbe(vmid, uint64(ia), uint64(pa), uint64(perm), hit)
+			}
+		},
+		Disarm: func() {
+			tlb := s.smpS2[i].TLB
+			tlb.OnMutate = nil
+			tlb.OnLookup = nil
+		},
+	}
+	eng = jit.New(s.jitThreshold, []jit.Source{src}, hooks)
+	eng.SetRecGauge(&s.smpRecs)
+	return eng
+}
+
+// tapFor returns eng's tap for register file f, registering it on first
+// use and reusing the existing ID thereafter (shard engines outlive runs,
+// so the same files re-attach every run).
+func tapFor(eng *jit.Engine, f []uint64) *jit.FileTap {
+	id := eng.FileByBase(&f[0])
+	if id == 0 {
+		id = eng.RegisterFile(f)
+	}
+	return eng.Tap(id)
+}
+
+// shardCtxs visits the saved register contexts owned by physical CPU i:
+// each hypervisor's host context for that core and the vCPU's three
+// contexts in every VM. These are exactly the files a shard recording on
+// CPU i can read or write.
+func (s *Stack) shardCtxs(i int, fn func(ctx *Context)) {
+	for _, h := range s.smpTables.hypList {
+		fn(&h.hostCtxs[i])
+		for _, vm := range h.VMs {
+			if i < len(vm.VCPUs) {
+				v := vm.VCPUs[i]
+				fn(&v.EL1)
+				fn(&v.VEL2)
+				fn(&v.VirtEL1)
+			}
+		}
+	}
+}
+
+// smpAttachJIT switches the first n cores from the whole-stack engine to
+// their shard engines for one SMP run and returns the matching detach.
+// No-op (returns nil... the caller guards) when the stack has no JIT.
+func (s *Stack) smpAttachJIT(n int, cols []*trace.Collector) func() {
+	shards := s.smpShardEngines(n)
+	// A fresh TLB generation base per run: shard super-ops promoted under
+	// a previous run's TLB carry that run's generations and must
+	// re-validate their probes against the new (empty) TLB rather than
+	// match its restarted counter.
+	s.smpGenBase += 1 << 32
+	atomic.StoreInt64(&s.smpRecs, 0)
+	// Fan-out poison: any memory or UART mutation while some shard is
+	// recording may be outside that shard's walk. Installed run-long;
+	// the whole-stack engine is detached for the run, so the taps are
+	// free for the fan.
+	fan := func() {
+		if atomic.LoadInt64(&s.smpRecs) == 0 {
+			return
+		}
+		for _, sh := range shards {
+			sh.PoisonAsync()
+		}
+	}
+	s.M.Mem.Tap = fan
+	s.M.UART.Tap = fan
+
+	type ctxSave struct {
+		ctx *Context
+		jt  *jit.FileTap
+	}
+	var saved []ctxSave
+	for i := 0; i < n; i++ {
+		i := i
+		c := s.M.CPUs[i]
+		sh := shards[i]
+		s.smpSrcs[i].col = cols[i]
+		sh.SetTrace(cols[i])
+		c.SetJIT(sh)
+		// Shared-state poison: the reader's own recording synchronously,
+		// every sibling shard asynchronously (their in-flight recordings
+		// read the same shared word).
+		c.SetJITSharedPoison(func() {
+			sh.Poison()
+			if atomic.LoadInt64(&s.smpRecs) != 0 {
+				for _, o := range shards {
+					if o != sh {
+						o.PoisonAsync()
+					}
+				}
+			}
+		})
+		s.shardCtxs(i, func(ctx *Context) {
+			saved = append(saved, ctxSave{ctx, ctx.jt})
+			ctx.jt = tapFor(sh, ctx.regs[:])
+		})
+	}
+	return func() {
+		for _, sv := range saved {
+			sv.ctx.jt = sv.jt
+		}
+		for i := 0; i < n; i++ {
+			c := s.M.CPUs[i]
+			c.SetJITSharedPoison(nil)
+			shards[i].Quiesce()
+			c.SetJIT(s.jit)
+		}
+		s.M.Mem.Tap = nil
+		s.M.UART.Tap = nil
+	}
+}
+
+// SMPJITStats sums the dispatch counters of the per-vCPU shard engines
+// (zero when the stack has no JIT or never ran SMP).
+func (s *Stack) SMPJITStats() trace.JITStats {
+	var st trace.JITStats
+	for _, sh := range s.smpShards {
+		st = st.Add(sh.Stats())
+	}
+	return st
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/nevesim/neve/internal/arm"
+	"github.com/nevesim/neve/internal/timer"
 )
 
 // SMP execution: the benchmark configurations run multi-way SMP guests
@@ -51,6 +52,34 @@ func (g *SMPGuest) Yield() { g.park(smpPark{kind: parkEpoch}) }
 // barrier when the segment budget expires.
 func (g *SMPGuest) Work(n uint64) {
 	g.GuestCtx.Work(n)
+	// Evaluate the core's generic timer so deadlines armed by ArmTimer
+	// fire at their programmed instant. With no line enabled (every
+	// non-storm workload) this reads four disabled control registers and
+	// does nothing — no cycles, no JIT poison, no shared state.
+	g.eng.s.M.Timers[g.CPU.ID].Check(g.CPU)
+	g.maybeEpoch()
+}
+
+// ArmTimer programs the vCPU's EL1 virtual timer to fire delta cycles
+// from now: the CNTV_CVAL_EL0/CNTV_CTL_EL0 MSR pair of a guest timer
+// tick loop. The registers are claimed by the per-core timer block, so
+// the writes complete without trapping (as on hardware); the expiry
+// interrupt is a PPI delivered and serviced entirely on this core.
+func (g *SMPGuest) ArmTimer(delta uint64) {
+	c := g.CPU
+	now := c.Cycles() - c.Reg(arm.CNTVOFF_EL2)
+	c.MSR(arm.CNTV_CVAL_EL0, now+delta)
+	c.MSR(arm.CNTV_CTL_EL0, timer.CtlEnable)
+	g.maybeEpoch()
+}
+
+// DeviceKick pokes the generic emulated device's doorbell (a per-vCPU
+// register below the virtio window, so the trap runs in-segment) and has
+// the device raise its completion interrupt — a private interrupt on the
+// issuing core, emulated by the hypervisor like any device IRQ.
+func (g *SMPGuest) DeviceKick() {
+	g.GuestCtx.DeviceWrite(0x40, 1)
+	g.eng.s.M.Dist.AssertPPI(g.CPU.ID, DevicePPI)
 	g.maybeEpoch()
 }
 

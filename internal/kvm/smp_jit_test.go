@@ -1,0 +1,212 @@
+package kvm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Per-vCPU JIT shard coverage: parallel segments now dispatch through
+// sharded trace-JIT engines instead of dropping to the interpreter, and
+// the shards must be invisible — JIT-on parallel matches JIT-on
+// sequential matches the interpreted (JIT-off) run, byte for byte, on
+// every guest-visible number.
+
+// smpStorm is a per-vCPU interrupt-storm program: timer ticks, device
+// IRQs, and IPIs all in flight at once, with the IRQ streams recorded for
+// comparison.
+func smpStorm(n, rounds int, irqs [][]int, cycles []uint64) []func(g *SMPGuest) {
+	progs := make([]func(g *SMPGuest), n)
+	for i := 0; i < n; i++ {
+		i := i
+		progs[i] = func(g *SMPGuest) {
+			g.OnIRQ(func(intid int) { irqs[i] = append(irqs[i], intid) })
+			for r := 0; r < rounds; r++ {
+				g.ArmTimer(400)
+				g.Work(800)
+				g.DeviceKick()
+				g.Work(800)
+				if n > 1 {
+					g.SendIPI((i+1)%n, r%MaxGuestSGI)
+				}
+				g.Yield()
+			}
+			cycles[i] = g.Cycles()
+		}
+	}
+	return progs
+}
+
+type smpStormResult struct {
+	irqs   [][]int
+	cycles []uint64
+	traps  uint64
+	stats  SMPStats
+}
+
+func runSMPStorm(s *Stack, n, rounds int, opts SMPOptions) smpStormResult {
+	r := smpStormResult{irqs: make([][]int, n), cycles: make([]uint64, n)}
+	r.stats = s.RunSMPOpts(smpStorm(n, rounds, r.irqs, r.cycles), opts)
+	r.traps = s.M.Trace.Total()
+	return r
+}
+
+func (a smpStormResult) mustMatch(t *testing.T, b smpStormResult, label string) {
+	t.Helper()
+	as, bs := a.stats, b.stats
+	as.Parallel, bs.Parallel = false, false
+	if as != bs {
+		t.Errorf("%s: stats diverge: %+v vs %+v", label, a.stats, b.stats)
+	}
+	if a.traps != b.traps {
+		t.Errorf("%s: traps diverge: %d vs %d", label, a.traps, b.traps)
+	}
+	if !reflect.DeepEqual(a.cycles, b.cycles) {
+		t.Errorf("%s: cycles diverge: %v vs %v", label, a.cycles, b.cycles)
+	}
+	if !reflect.DeepEqual(a.irqs, b.irqs) {
+		t.Errorf("%s: IRQ streams diverge: %v vs %v", label, a.irqs, b.irqs)
+	}
+}
+
+func TestSMPShardedJITMatchesInterpreted(t *testing.T) {
+	const n, rounds = 4, 12
+	mk := func(jit bool) *Stack {
+		s := NewVMStack(StackOptions{CPUs: n})
+		if jit {
+			s.InstallJIT(2)
+		}
+		return s
+	}
+	for _, budget := range []uint64{500, 0} {
+		opts := SMPOptions{EpochBudget: budget}
+		popts := SMPOptions{EpochBudget: budget, Parallel: true}
+		interp := runSMPStorm(mk(false), n, rounds, opts)
+		jitSeq := runSMPStorm(mk(true), n, rounds, opts)
+		jitPar := runSMPStorm(mk(true), n, rounds, popts)
+		if !jitPar.stats.Parallel {
+			t.Fatalf("budget %d: parallel JIT run fell back to sequential", budget)
+		}
+		jitSeq.mustMatch(t, interp, "jit-on seq vs jit-off")
+		jitPar.mustMatch(t, interp, "jit-on par vs jit-off")
+	}
+	// The storm must actually storm: timer (27), device (29), and SGI
+	// lines all delivered.
+	seen := map[int]bool{}
+	r := runSMPStorm(mk(false), n, rounds, SMPOptions{})
+	for _, irqs := range r.irqs {
+		for _, intid := range irqs {
+			seen[intid] = true
+		}
+	}
+	for _, intid := range []int{27, DevicePPI, 0} {
+		if !seen[intid] {
+			t.Errorf("INTID %d never delivered; irqs=%v", intid, r.irqs)
+		}
+	}
+}
+
+// smpSteadyStorm arms each vCPU's timer once, lets it fire, then hammers
+// IPIs and hypercalls. After the single deadline the timer line sits in
+// its steady (expired, fired, IStat-set) state, which stays recordable —
+// a perpetually re-arming storm instead produces single-use super-ops,
+// because every world switch guards the fresh compare value.
+func smpSteadyStorm(n, rounds int) []func(g *SMPGuest) {
+	progs := make([]func(g *SMPGuest), n)
+	for i := 0; i < n; i++ {
+		i := i
+		progs[i] = func(g *SMPGuest) {
+			g.OnIRQ(func(int) {})
+			g.ArmTimer(100)
+			g.Work(300) // deadline passes here
+			for r := 0; r < rounds; r++ {
+				g.Work(400)
+				g.SendIPI((i+1)%n, r%MaxGuestSGI)
+				g.Hypercall()
+				g.Yield()
+			}
+		}
+	}
+	return progs
+}
+
+func TestSMPShardsEngageAndPersist(t *testing.T) {
+	const n, rounds = 4, 16
+	s := NewVMStack(StackOptions{CPUs: n})
+	s.InstallJIT(2)
+	opts := SMPOptions{EpochBudget: 2000, Parallel: true}
+
+	s.RunSMPOpts(smpSteadyStorm(n, rounds), opts)
+	first := s.SMPJITStats()
+	if first.Hits == 0 {
+		t.Fatalf("shards never replayed with a fired timer in steady state: %+v", first)
+	}
+
+	// Shards persist across runs: the second run replays traces the first
+	// one recorded, so hits must grow.
+	s.RunSMPOpts(smpSteadyStorm(n, rounds), opts)
+	second := s.SMPJITStats()
+	if second.Hits <= first.Hits {
+		t.Fatalf("second run reused nothing: %+v -> %+v", first, second)
+	}
+}
+
+func TestSMPAdaptiveBudgetEquivalence(t *testing.T) {
+	const n = 4
+	mkProgs := func(cycles []uint64) []func(g *SMPGuest) {
+		progs := make([]func(g *SMPGuest), n)
+		for i := 0; i < n; i++ {
+			i := i
+			progs[i] = func(g *SMPGuest) {
+				// A chatty phase (traffic shrinks the budget) followed by a
+				// long quiet one (zero traffic doubles it): the final budget
+				// must land away from the default, and identically in both
+				// modes.
+				for r := 0; r < 6; r++ {
+					g.Work(300)
+					g.SendIPI((i+1)%n, r%MaxGuestSGI)
+					g.Yield()
+				}
+				g.Work(600_000)
+				cycles[i] = g.Cycles()
+			}
+		}
+		return progs
+	}
+	run := func(parallel bool) (SMPStats, []uint64, uint64) {
+		s := NewVMStack(StackOptions{CPUs: n})
+		cycles := make([]uint64, n)
+		st := s.RunSMPOpts(mkProgs(cycles), SMPOptions{Parallel: parallel, Adaptive: true})
+		return st, cycles, s.M.Trace.Total()
+	}
+	seqSt, seqCycles, seqTraps := run(false)
+	parSt, parCycles, parTraps := run(true)
+	if !parSt.Parallel {
+		t.Fatal("parallel adaptive run fell back to sequential")
+	}
+	parSt.Parallel = false
+	if parSt != seqSt {
+		t.Errorf("adaptive stats diverge: par %+v vs seq %+v", parSt, seqSt)
+	}
+	if !reflect.DeepEqual(parCycles, seqCycles) || parTraps != seqTraps {
+		t.Errorf("adaptive guest state diverges: cycles %v vs %v, traps %d vs %d",
+			parCycles, seqCycles, parTraps, seqTraps)
+	}
+	if seqSt.FinalBudget == defaultEpochBudget {
+		t.Errorf("budget never moved from the default %d: %+v", uint64(defaultEpochBudget), seqSt)
+	}
+	if seqSt.FinalBudget < minEpochBudget || seqSt.FinalBudget > maxEpochBudget {
+		t.Errorf("FinalBudget %d outside [%d, %d]", seqSt.FinalBudget,
+			uint64(minEpochBudget), uint64(maxEpochBudget))
+	}
+}
+
+func TestSMPFixedBudgetReported(t *testing.T) {
+	s := NewVMStack(StackOptions{CPUs: 2})
+	st := s.RunSMPOpts([]func(g *SMPGuest){
+		func(g *SMPGuest) { g.Work(5000) },
+		func(g *SMPGuest) { g.Work(5000) },
+	}, SMPOptions{Parallel: true, EpochBudget: 1234})
+	if st.FinalBudget != 1234 {
+		t.Fatalf("FinalBudget = %d, want the fixed 1234", st.FinalBudget)
+	}
+}

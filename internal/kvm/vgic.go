@@ -15,6 +15,10 @@ import (
 // vgicSendSGI emulates a guest's ICC_SGI1R_EL1 write: mark the SGI pending
 // on the target vCPU and kick the physical core it runs on.
 func (h *Hypervisor) vgicSendSGI(c *arm.CPU, vm *VM, target, intid int) {
+	// The target's pending queue is another vCPU's state: outside the
+	// sender's per-vCPU JIT shard walk, so no shard recording may span
+	// this emulation.
+	c.JITPoisonShared()
 	c.Work(workVGICEmu)
 	if target < 0 || target >= len(vm.VCPUs) {
 		panic(fmt.Sprintf("kvm[%s]: SGI to nonexistent vcpu %d", h.Cfg.Name, target))
@@ -102,7 +106,7 @@ func (h *Hypervisor) handlePhysIRQ(c *arm.CPU, lc *loadedCtx, intid int) {
 		h.flushPendingVIRQ(v)
 		return
 	}
-	if intid >= MinDeviceSPI {
+	if intid >= MinDeviceSPI || intid == DevicePPI {
 		// Device interrupt: the paravirtual backend (vhost) processes the
 		// queued I/O before injecting the completion into the VM.
 		c.Work(workDeviceEmu)
@@ -113,6 +117,11 @@ func (h *Hypervisor) handlePhysIRQ(c *arm.CPU, lc *loadedCtx, intid int) {
 
 // MinDeviceSPI is the first shared-peripheral interrupt ID (device IRQs).
 const MinDeviceSPI = 32
+
+// DevicePPI is the per-core completion interrupt of the generic emulated
+// device (SMPGuest.DeviceKick): a private interrupt, so concurrent kicks
+// on different cores never meet in the distributor.
+const DevicePPI = 29
 
 // ackPhysIRQ acknowledges and completes the physical interrupt: through
 // the physical GIC CPU interface for the host, through the virtual CPU

@@ -110,15 +110,26 @@ func (t *Timer) Check(c *arm.CPU) {
 			cnt -= c.Reg(arm.CNTVOFF_EL2)
 		}
 		cval := c.Reg(l.cval)
-		if ctl&CtlEnable != 0 {
+		expired := ctl&CtlEnable != 0 && cnt >= cval
+		if ctl&CtlEnable != 0 && !(expired && ctl&CtlIStat != 0 && t.firedAt[l.ctl] == cval) {
 			// An enabled line's evaluation depends on the live counter
 			// (expired here may be not-expired at replay time, and vice
-			// versa), so it cannot be part of a super-op. Disabled lines
-			// — the world-switch save path parks timers disabled — are
-			// pure and stay recordable.
+			// versa), so it cannot be part of a super-op. Two cases stay
+			// recordable: disabled lines (the world-switch save path parks
+			// timers disabled) are pure, and the steady state — expired,
+			// interrupt already raised for this compare value, IStat set —
+			// is a no-op whose future evaluations stay no-ops: the ctl,
+			// cval, and CNTVOFF reads above are guarded by the recording's
+			// file-read set (a replay bails if any changed), every compare
+			// write re-evaluates the line immediately (so IStat always
+			// reflects the guarded cval), firedAt is checkpointed alongside
+			// the register file, and the cycle counter is monotone across
+			// dispatch points, so "expired" cannot flip back under an
+			// unchanged cval and offset. Without this carve-out a guest
+			// that keeps a timer armed — every interrupt-storm workload —
+			// poisons all recordings and locks the JIT out entirely.
 			c.JITPoison()
 		}
-		expired := ctl&CtlEnable != 0 && cnt >= cval
 		if expired {
 			c.SetReg(l.ctl, ctl|CtlIStat)
 			prev, fired := t.firedAt[l.ctl]

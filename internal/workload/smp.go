@@ -19,6 +19,12 @@ type SMPAPI interface {
 	// vCPUs.
 	RAMRead64(off uint64) uint64
 	RAMWrite64(off uint64, v uint64)
+	// ArmTimer programs the vCPU's virtual timer to fire delta cycles
+	// from now; the expiry arrives through OnIRQ like any interrupt.
+	ArmTimer(delta uint64)
+	// DeviceKick rings the per-vCPU emulated device doorbell; the device
+	// raises its completion interrupt on the issuing core.
+	DeviceKick()
 	// ID is the vCPU index.
 	ID() int
 }
@@ -91,6 +97,59 @@ func fanOut(p SMPProfile, n, i int) func(g SMPAPI) {
 	}
 }
 
+// storm is the interrupt-storm pattern: each round, every vCPU arms its
+// virtual timer, works past the deadline (taking the timer interrupt
+// mid-round), rings its device doorbell (taking the completion
+// interrupt), and kicks its ring successor — the event mix of a loaded
+// production core, where timer ticks, device completions, and scheduler
+// IPIs interleave at comparable rates. All three interrupt sources are
+// serviced on the issuing core's own trap path; only the ring IPI
+// crosses vCPUs.
+func storm(p SMPProfile, n, i int) func(g SMPAPI) {
+	return func(g SMPAPI) {
+		g.OnIRQ(func(intid int) {})
+		for r := 0; r < p.Rounds; r++ {
+			g.ArmTimer(p.OpWork / 2)
+			g.Work(p.OpWork)
+			g.DeviceKick()
+			g.Work(p.OpWork)
+			if n > 1 {
+				g.SendIPI((i+1)%n, r%8)
+			}
+			g.Yield()
+		}
+	}
+}
+
+// stormBurst layers broadcast bursts over the storm mix: each round one
+// rotating vCPU IPI-broadcasts to every sibling (n-1 distributor
+// transactions in one epoch) while the rest run the timer+device local
+// storm and answer with a ring kick — contention spikes riding on a
+// steady interrupt load.
+func stormBurst(p SMPProfile, n, i int) func(g SMPAPI) {
+	return func(g SMPAPI) {
+		g.OnIRQ(func(intid int) {})
+		for r := 0; r < p.Rounds; r++ {
+			g.ArmTimer(p.OpWork / 2)
+			g.Work(p.OpWork)
+			g.DeviceKick()
+			g.Work(p.OpWork)
+			if n > 1 {
+				if i == r%n {
+					for t := 0; t < n; t++ {
+						if t != i {
+							g.SendIPI(t, r%8)
+						}
+					}
+				} else {
+					g.SendIPI((i+1)%n, r%8)
+				}
+			}
+			g.Yield()
+		}
+	}
+}
+
 // SMPProfiles returns the multi-vCPU workloads of the scale-out sweep.
 func SMPProfiles() []SMPProfile {
 	return []SMPProfile{
@@ -105,6 +164,18 @@ func SMPProfiles() []SMPProfile {
 			Description: "Broadcast: vCPU 0 publishes to shared RAM and kicks all workers",
 			Rounds:      12, OpWork: 10_000,
 			pattern: fanOut,
+		},
+		{
+			Name:        "storm",
+			Description: "Interrupt storm: timer tick + device completion + ring IPI per round",
+			Rounds:      24, OpWork: 3_000,
+			pattern: storm,
+		},
+		{
+			Name:        "storm-burst",
+			Description: "Interrupt storm with rotating IPI broadcast bursts",
+			Rounds:      16, OpWork: 2_500,
+			pattern: stormBurst,
 		},
 	}
 }

@@ -12,6 +12,8 @@ type fakeSMP struct {
 	yields int
 	reads  int
 	writes int
+	timers int
+	kicks  int
 }
 
 func (f *fakeSMP) SendIPI(target, intid int) {
@@ -30,6 +32,13 @@ func (f *fakeSMP) RAMWrite64(off uint64, v uint64) {
 	f.writes++
 	f.ram[off] = v
 }
+func (f *fakeSMP) ArmTimer(delta uint64) {
+	if delta == 0 {
+		panic("zero timer delta")
+	}
+	f.timers++
+}
+func (f *fakeSMP) DeviceKick() { f.kicks++ }
 
 func runFake(p SMPProfile, n int) []*fakeSMP {
 	progs := p.Programs(n)
@@ -83,6 +92,47 @@ func TestSMPProfileFanOut(t *testing.T) {
 	// Workers observe the last published message.
 	if got := fakes[1].ram[0x2000]; got != uint64(p.Rounds) {
 		t.Fatalf("last message = %d, want %d", got, p.Rounds)
+	}
+}
+
+func TestSMPProfileStorm(t *testing.T) {
+	p, ok := SMPProfileByName("storm")
+	if !ok {
+		t.Fatal("storm missing")
+	}
+	n := 8
+	fakes := runFake(p, n)
+	for i, f := range fakes {
+		if f.timers != p.Rounds || f.kicks != p.Rounds || f.ipis != p.Rounds {
+			t.Fatalf("vcpu%d: timers=%d kicks=%d ipis=%d, want %d each",
+				i, f.timers, f.kicks, f.ipis, p.Rounds)
+		}
+	}
+}
+
+func TestSMPProfileStormBurst(t *testing.T) {
+	p, ok := SMPProfileByName("storm-burst")
+	if !ok {
+		t.Fatal("storm-burst missing")
+	}
+	n := 4
+	fakes := runFake(p, n)
+	// Each vCPU broadcasts (n-1 IPIs) on the rounds where it is the
+	// rotating broadcaster and sends one ring IPI on every other round.
+	for i, f := range fakes {
+		bursts := 0
+		for r := 0; r < p.Rounds; r++ {
+			if i == r%n {
+				bursts++
+			}
+		}
+		want := bursts*(n-1) + (p.Rounds - bursts)
+		if f.ipis != want {
+			t.Fatalf("vcpu%d: ipis=%d, want %d", i, f.ipis, want)
+		}
+		if f.timers != p.Rounds || f.kicks != p.Rounds {
+			t.Fatalf("vcpu%d: timers=%d kicks=%d, want %d each", i, f.timers, f.kicks, p.Rounds)
+		}
 	}
 }
 
