@@ -11,17 +11,19 @@
 // cell regresses when its speedup drops by more than -smp-threshold
 // percent (default 25: a parallel cell's scheduling rides on host core
 // availability, so it is noisier than the deterministic single-vCPU
-// suites); their wall times are printed informationally. Suites or cells
-// that appear in only one report are listed but never fail the diff, so
-// adding or retiring a suite doesn't break CI. Throughput-only
-// differences (cells/sec on a zero-wall suite, parallelism changes) are
-// informational.
+// suites); their wall times are printed informationally. Suites or SMP
+// cells that appear in only one report — including a whole SMP section
+// present on one side only — are listed as added/removed rows but never
+// fail the diff, so adding or retiring a suite doesn't break CI.
+// Throughput-only differences (cells/sec on a zero-wall suite,
+// parallelism changes) are informational.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -70,17 +72,28 @@ func main() {
 		fmt.Println("note: boot modes differ; the delta includes the checkpoint cache itself")
 	}
 
+	if diffReports(os.Stdout, oldR, newR, *threshold, *smpThreshold) {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression above %.0f%% wall time (%.0f%% speedup drop for smp cells)\n", *threshold, *smpThreshold)
+		os.Exit(1)
+	}
+}
+
+// diffReports prints the suite and SMP-cell comparison to w and reports
+// whether any regression crossed a threshold. Entries present in only
+// one report are printed as added/removed rows and never regress — a
+// suite's lifecycle is not a performance event.
+func diffReports(w io.Writer, oldR, newR bench.Report, threshold, smpThreshold float64) bool {
 	oldSuites := make(map[string]bench.SuiteStats, len(oldR.Suites))
 	for _, s := range oldR.Suites {
 		oldSuites[s.Name] = s
 	}
 
-	fmt.Printf("%-8s %12s %12s %9s\n", "suite", "old wall ms", "new wall ms", "delta")
+	fmt.Fprintf(w, "%-8s %12s %12s %9s\n", "suite", "old wall ms", "new wall ms", "delta")
 	failed := false
 	for _, n := range newR.Suites {
 		o, ok := oldSuites[n.Name]
 		if !ok {
-			fmt.Printf("%-8s %12s %12.1f %9s  (new suite)\n", n.Name, "-", n.WallMS, "-")
+			fmt.Fprintf(w, "%-8s %12s %12.1f %9s  (new suite)\n", n.Name, "-", n.WallMS, "-")
 			continue
 		}
 		delete(oldSuites, n.Name)
@@ -91,12 +104,12 @@ func main() {
 			if o.WallMS > 0 {
 				pct = (n.WallMS - o.WallMS) / o.WallMS * 100
 			}
-			fmt.Printf("%-8s %12.1f %12.1f %+8.1f%%  (info; judged on speedup)\n", n.Name, o.WallMS, n.WallMS, pct)
+			fmt.Fprintf(w, "%-8s %12.1f %12.1f %+8.1f%%  (info; judged on speedup)\n", n.Name, o.WallMS, n.WallMS, pct)
 			continue
 		}
 		if o.WallMS > 0 {
 			pct = (n.WallMS - o.WallMS) / o.WallMS * 100
-			if pct > *threshold {
+			if pct > threshold {
 				mark = "  REGRESSION"
 				failed = true
 			}
@@ -105,51 +118,57 @@ func main() {
 			// unquantifiable slowdown, so only report it.
 			mark = "  (old wall time was 0)"
 		}
-		fmt.Printf("%-8s %12.1f %12.1f %+8.1f%%%s\n", n.Name, o.WallMS, n.WallMS, pct, mark)
+		fmt.Fprintf(w, "%-8s %12.1f %12.1f %+8.1f%%%s\n", n.Name, o.WallMS, n.WallMS, pct, mark)
 	}
+	// Suites left in the map appear only in the old report.
 	for _, s := range oldR.Suites {
 		if o, ok := oldSuites[s.Name]; ok {
-			fmt.Printf("%-8s %12.1f %12s %9s  (suite removed)\n", o.Name, o.WallMS, "-", "-")
+			fmt.Fprintf(w, "%-8s %12.1f %12s %9s  (suite removed)\n", o.Name, o.WallMS, "-", "-")
 		}
 	}
 	if oldR.TotalWallMS > 0 {
-		fmt.Printf("total    %12.1f %12.1f %+8.1f%%\n",
+		fmt.Fprintf(w, "total    %12.1f %12.1f %+8.1f%%\n",
 			oldR.TotalWallMS, newR.TotalWallMS,
 			(newR.TotalWallMS-oldR.TotalWallMS)/oldR.TotalWallMS*100)
 	}
 
 	// SMP cells: parallel speedup is the tracked number, higher is better.
-	// A cell regresses when its speedup drops by more than -smp-threshold
-	// percent of the old value.
-	if len(oldR.SMPCells) > 0 && len(newR.SMPCells) > 0 {
+	// A cell regresses when its speedup drops by more than smpThreshold
+	// percent of the old value. A section present on one side only (the
+	// sweep was just added, or just retired) lists every cell as
+	// added/removed instead of being skipped silently.
+	if len(oldR.SMPCells) > 0 || len(newR.SMPCells) > 0 {
 		type cellKey struct{ config, profile string }
 		oldCells := make(map[cellKey]bench.SMPCell, len(oldR.SMPCells))
 		for _, c := range oldR.SMPCells {
 			oldCells[cellKey{c.Config, c.Profile}] = c
 		}
-		fmt.Printf("\n%-8s %-12s %11s %11s %9s\n", "config", "profile", "old speedup", "new speedup", "delta")
+		fmt.Fprintf(w, "\n%-8s %-12s %11s %11s %9s\n", "config", "profile", "old speedup", "new speedup", "delta")
 		for _, n := range newR.SMPCells {
 			o, ok := oldCells[cellKey{n.Config, n.Profile}]
 			if !ok {
-				fmt.Printf("%-8s %-12s %11s %10.2fx %9s  (new cell)\n", n.Config, n.Profile, "-", n.SpeedupX, "-")
+				fmt.Fprintf(w, "%-8s %-12s %11s %10.2fx %9s  (new cell)\n", n.Config, n.Profile, "-", n.SpeedupX, "-")
 				continue
 			}
+			delete(oldCells, cellKey{n.Config, n.Profile})
 			mark := ""
 			var drop float64
 			if o.SpeedupX > 0 {
 				drop = (o.SpeedupX - n.SpeedupX) / o.SpeedupX * 100
-				if drop > *smpThreshold {
+				if drop > smpThreshold {
 					mark = "  REGRESSION"
 					failed = true
 				}
 			}
-			fmt.Printf("%-8s %-12s %10.2fx %10.2fx %+8.1f%%%s\n",
+			fmt.Fprintf(w, "%-8s %-12s %10.2fx %10.2fx %+8.1f%%%s\n",
 				n.Config, n.Profile, o.SpeedupX, n.SpeedupX, -drop, mark)
 		}
+		// Cells left in the map appear only in the old report.
+		for _, c := range oldR.SMPCells {
+			if o, ok := oldCells[cellKey{c.Config, c.Profile}]; ok {
+				fmt.Fprintf(w, "%-8s %-12s %10.2fx %11s %9s  (cell removed)\n", o.Config, o.Profile, o.SpeedupX, "-", "-")
+			}
+		}
 	}
-
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: regression above %.0f%% wall time (%.0f%% speedup drop for smp cells)\n", *threshold, *smpThreshold)
-		os.Exit(1)
-	}
+	return failed
 }

@@ -29,7 +29,7 @@ func (h Harness) RunFigure2Events(configs []ConfigID) []EventRow {
 	out := make([]EventRow, len(profiles)*len(configs))
 	h.forEachCell(len(out), func(i int) {
 		p, cfg := profiles[i/len(configs)], configs[i%len(configs)]
-		ov, res, _ := h.runAppWarm(cache, cfg, p)
+		ov, res, _, _ := h.runAppWarm(cache, cfg, p)
 		out[i] = EventRow{Workload: p.Name, Config: cfg, Result: res, Overhead: ov}
 	})
 	return out

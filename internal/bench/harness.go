@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/nevesim/neve/internal/platform"
 )
 
 // Harness scopes one experiment run: the worker parallelism and the
@@ -35,6 +37,20 @@ type Harness struct {
 	// measured outputs are byte-identical either way (TestJITGoldenEquiv);
 	// jit=off is the interpreted wall-time baseline.
 	JITOff bool
+	// MaxTraps and MaxSteps, when non-zero, attach a livelock watchdog to
+	// every cell's platform with these per-cell budgets. A cell that
+	// overruns them produces a result row carrying a CellFault instead of
+	// hanging the sweep; the other cells complete normally. Budgets reset
+	// between cells, so pooled warm-boot reuse does not leak one cell's
+	// consumption into the next.
+	MaxTraps uint64
+	MaxSteps uint64
+	// Store, when non-nil, backs the warm-boot cache with the durable
+	// checkpoint store: the first boot of each configuration consults the
+	// store before snapshotting, and saves its boot checkpoint for other
+	// processes (fleet workers, future runs). Corrupt entries are
+	// detected, counted, and fall back to a cold boot.
+	Store *platform.CheckpointStore
 }
 
 // Workers returns the effective worker count.

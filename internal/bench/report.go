@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/nevesim/neve/internal/platform"
 	"github.com/nevesim/neve/internal/trace"
 )
 
@@ -35,6 +36,9 @@ type SuiteStats struct {
 	JITHits     uint64 `json:"jit_hits"`
 	JITMisses   uint64 `json:"jit_misses"`
 	JITBailouts uint64 `json:"jit_bailouts"`
+	// Faulted counts cells that produced a CellFault row (livelock or
+	// panic) instead of a measurement.
+	Faulted int `json:"faulted,omitempty"`
 }
 
 // Report is the full performance report.
@@ -59,6 +63,9 @@ type Report struct {
 	SMPAdaptive bool         `json:"smp_adaptive,omitempty"`
 	SMPCells    []SMPCell    `json:"smp_cells,omitempty"`
 	Suites      []SuiteStats `json:"suites"`
+	// Store holds the durable checkpoint store's counters when one was
+	// attached: hits and misses, plus detected-and-recovered corruption.
+	Store *platform.StoreStats `json:"store,omitempty"`
 	// TotalWallMS is the wall time of the whole report run.
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -73,27 +80,44 @@ func (h Harness) RunBenchReport() Report {
 		JITOff:      h.JITOff,
 	}
 	start := time.Now()
+	runner := h.NewCellRunner()
 
 	t0 := time.Now()
-	micro := h.RunAllMicro()
+	micro := runner.RunAllMicro()
 	var microCycles uint64
 	var microJIT trace.JITStats
+	microFaults := 0
 	for _, c := range micro {
 		microCycles += c.Cycles
 		microJIT = microJIT.Add(c.JIT)
+		if c.Fault != nil {
+			microFaults++
+		}
 	}
-	r.Suites = append(r.Suites, suiteStats("micro", time.Since(t0), len(micro), microCycles, microJIT))
+	ms := suiteStats("micro", time.Since(t0), len(micro), microCycles, microJIT)
+	ms.Faulted = microFaults
+	r.Suites = append(r.Suites, ms)
 
 	t0 = time.Now()
-	apps := h.RunFigure2()
+	apps := runner.RunFigure2()
 	var appCycles uint64
 	var appJIT trace.JITStats
+	appFaults := 0
 	for _, c := range apps {
 		appCycles += c.Raw.Cycles
 		appJIT = appJIT.Add(c.JIT)
+		if c.Fault != nil {
+			appFaults++
+		}
 	}
-	r.Suites = append(r.Suites, suiteStats("fig2", time.Since(t0), len(apps), appCycles, appJIT))
+	as := suiteStats("fig2", time.Since(t0), len(apps), appCycles, appJIT)
+	as.Faulted = appFaults
+	r.Suites = append(r.Suites, as)
 
+	if h.Store != nil {
+		stats := h.Store.Stats()
+		r.Store = &stats
+	}
 	r.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 	return r
 }

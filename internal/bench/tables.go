@@ -39,19 +39,27 @@ type MicroResult struct {
 	// or on x86). Simulator-side diagnostics only — never printed in the
 	// paper tables, which are byte-identical with and without the engine.
 	JIT trace.JITStats
+	// Fault is non-nil when the cell livelocked or panicked: the
+	// measurements are zero and this row explains why. The rest of the
+	// sweep is unaffected.
+	Fault *CellFault `json:",omitempty"`
 }
 
 // RunAllMicro measures every microbenchmark on the harness's
 // configuration sweep. Cells run across the worker pool; the result order
 // is the sequential table order regardless of worker count.
 func (h Harness) RunAllMicro() []MicroResult {
-	ops, cfgs := MicroOps(), h.configs()
-	cache := h.newCache()
+	return h.NewCellRunner().RunAllMicro()
+}
+
+// RunAllMicro measures every microbenchmark on the runner's harness
+// sweep, through the runner's shared cache.
+func (r *CellRunner) RunAllMicro() []MicroResult {
+	ops, cfgs := MicroOps(), r.h.configs()
 	out := make([]MicroResult, len(ops)*len(cfgs))
-	h.forEachCell(len(out), func(i int) {
+	r.h.forEachCell(len(out), func(i int) {
 		op, cfg := ops[i/len(cfgs)], cfgs[i%len(cfgs)]
-		cyc, traps, js := h.runMicroWarm(cache, cfg, op)
-		out[i] = MicroResult{Op: op, Config: cfg, Cycles: cyc, Traps: traps, JIT: js}
+		out[i] = r.Micro(cfg, op)
 	})
 	return out
 }
@@ -96,7 +104,7 @@ func FormatTable6(results []MicroResult) string {
 		for _, cfg := range cfgs {
 			r := cell(results, op, cfg)
 			base := cell(results, op, vmBase[cfg])
-			if r == nil || base == nil || base.Cycles == 0 {
+			if r == nil || base == nil || base.Cycles == 0 || r.Fault != nil {
 				continue
 			}
 			fmt.Fprintf(&b, "  %s %.0fx", shortName(cfg), float64(r.Cycles)/float64(base.Cycles))
@@ -122,7 +130,11 @@ func formatCycleTable(title string, results []MicroResult, cfgs []ConfigID) stri
 				continue
 			}
 			paper := PaperMicroCycles[op][cfg]
-			fmt.Fprintf(&b, " %10s/%-11s", fmtN(r.Cycles), fmtN(paper)+"p")
+			meas := fmtN(r.Cycles)
+			if r.Fault != nil {
+				meas = "ERR:" + r.Fault.Kind
+			}
+			fmt.Fprintf(&b, " %10s/%-11s", meas, fmtN(paper)+"p")
 		}
 		b.WriteString("\n")
 	}
@@ -147,7 +159,11 @@ func FormatTable7(results []MicroResult) string {
 			if r == nil {
 				continue
 			}
-			fmt.Fprintf(&b, " %8d/%-9s", r.Traps, fmt.Sprintf("%dp", PaperMicroTraps[op][cfg]))
+			meas := fmt.Sprintf("%d", r.Traps)
+			if r.Fault != nil {
+				meas = "ERR:" + r.Fault.Kind
+			}
+			fmt.Fprintf(&b, " %8s/%-9s", meas, fmt.Sprintf("%dp", PaperMicroTraps[op][cfg]))
 		}
 		b.WriteString("\n")
 	}
@@ -177,19 +193,31 @@ type AppResult struct {
 	// JIT holds the cell's trace-JIT dispatch counters (zero with jit=off
 	// or on x86).
 	JIT trace.JITStats
+	// Fault is non-nil when the cell livelocked or panicked (see
+	// MicroResult.Fault).
+	Fault *CellFault `json:",omitempty"`
 }
 
 // RunFigure2 measures every application workload on the harness's
 // configuration sweep. Cells run across the worker pool in deterministic
 // sequential order.
 func (h Harness) RunFigure2() []AppResult {
-	profiles, cfgs := workload.Profiles(), h.configs()
-	cache := h.newCache()
+	return h.NewCellRunner().RunFigure2()
+}
+
+// RunFigure2 measures every application workload on the runner's harness
+// sweep, through the runner's shared cache.
+func (r *CellRunner) RunFigure2() []AppResult {
+	profiles, cfgs := workload.Profiles(), r.h.configs()
 	out := make([]AppResult, len(profiles)*len(cfgs))
-	h.forEachCell(len(out), func(i int) {
+	r.h.forEachCell(len(out), func(i int) {
 		p, cfg := profiles[i/len(cfgs)], cfgs[i%len(cfgs)]
-		ov, raw, js := h.runAppWarm(cache, cfg, p)
-		out[i] = AppResult{Workload: p.Name, Config: cfg, Overhead: ov, Raw: raw, JIT: js}
+		res, err := r.App(cfg, p.Name)
+		if err != nil {
+			// Profiles() names are always registered; unreachable.
+			panic(err)
+		}
+		out[i] = res
 	})
 	return out
 }
@@ -212,7 +240,11 @@ func FormatFigure2(results []AppResult) string {
 		for _, cfg := range AllConfigs() {
 			for _, r := range results {
 				if r.Workload == p.Name && r.Config == cfg {
-					fmt.Fprintf(&b, " %9.2fx", r.Overhead)
+					if r.Fault != nil {
+						fmt.Fprintf(&b, " %10s", "ERR:"+r.Fault.Kind)
+					} else {
+						fmt.Fprintf(&b, " %9.2fx", r.Overhead)
+					}
 				}
 			}
 		}

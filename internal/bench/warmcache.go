@@ -3,6 +3,7 @@ package bench
 import (
 	"sync"
 
+	"github.com/nevesim/neve/internal/fault"
 	"github.com/nevesim/neve/internal/platform"
 	"github.com/nevesim/neve/internal/trace"
 	"github.com/nevesim/neve/internal/workload"
@@ -19,6 +20,13 @@ import (
 // are copy-on-write (no page copies until a page is dirtied) and
 // allocation-free, so a warm cell pays for its workload and nothing else.
 //
+// When a durable CheckpointStore is attached, the first boot of each
+// configuration consults it: a stored (content-verified) boot checkpoint
+// is decoded against the fresh build instead of snapshotting anew, and a
+// store miss saves the new snapshot for other processes. Either way the
+// platform state is byte-identical (TestCheckpointCodecEquivalence), so
+// the store changes durability, never results.
+//
 // Determinism is unchanged: a restored platform is byte-identical to a
 // freshly built one (the TestSnapshotRestoreEquivalence gate), so tables,
 // goldens, and parallel-vs-sequential comparisons are unaffected by cache
@@ -26,6 +34,7 @@ import (
 type warmCache struct {
 	mu    sync.Mutex
 	pools map[string][]*warmEntry
+	store *platform.CheckpointStore
 }
 
 // warmEntry is one pooled platform with its boot checkpoint.
@@ -40,13 +49,13 @@ func (h Harness) newCache() *warmCache {
 	if h.ColdBoot {
 		return nil
 	}
-	return &warmCache{pools: make(map[string][]*warmEntry)}
+	return &warmCache{pools: make(map[string][]*warmEntry), store: h.Store}
 }
 
 // acquire returns a platform in freshly-booted state for spec: a pooled
 // one restored to its boot checkpoint, or a new build (with a checkpoint
-// taken) when the pool is empty. The caller has exclusive use until
-// release.
+// taken — or fetched from the durable store) when the pool is empty. The
+// caller has exclusive use until release.
 func (c *warmCache) acquire(spec platform.Spec) *warmEntry {
 	if spec.Faults.Active() {
 		// Injector state is outside the snapshot (and the spec's Axes key
@@ -64,12 +73,31 @@ func (c *warmCache) acquire(spec platform.Spec) *warmEntry {
 	}
 	c.mu.Unlock()
 	p := platform.MustBuild(spec)
+	if c.store != nil {
+		if payload, ok := c.store.Load(spec); ok {
+			if cp, err := platform.DecodeCheckpoint(p, payload); err == nil {
+				// The fresh build is already at boot state; the decoded
+				// checkpoint serves every later restore of this entry.
+				return &warmEntry{p: p, cp: cp}
+			}
+			// A hash-valid entry that fails structural decode was written
+			// by an incompatible build; fall through to a cold snapshot
+			// (which overwrites it for the next reader).
+		}
+		cp := p.Snapshot()
+		if b, err := platform.EncodeCheckpoint(p, cp); err == nil {
+			c.store.Save(spec, b) // best-effort; a full disk costs warmth, not results
+		}
+		return &warmEntry{p: p, cp: cp}
+	}
 	return &warmEntry{p: p, cp: p.Snapshot()}
 }
 
 // release returns a used platform to its pool. The platform is restored
 // lazily at the next acquire, not here, so the final cell of a sweep
-// never pays for a restore nobody consumes.
+// never pays for a restore nobody consumes. Faulted platforms must NOT
+// be released — a SimError means the model unwound mid-operation and the
+// platform is poisoned; the cell runners simply drop them.
 func (c *warmCache) release(e *warmEntry) {
 	if e.cp == nil {
 		return // uncacheable (fault-injecting) build, discard
@@ -81,57 +109,101 @@ func (c *warmCache) release(e *warmEntry) {
 }
 
 // benchSpec is the spec benchmark cells build: the registry configuration
-// with the benchmark CPU count and the harness's JIT setting.
+// with the benchmark CPU count, the harness's JIT setting, and the
+// harness's watchdog budgets.
 func (h Harness) benchSpec(id ConfigID) platform.Spec {
 	spec := id.Spec()
 	spec.CPUs = 2
 	spec.JITOff = h.JITOff
+	spec.MaxTraps = h.MaxTraps
+	spec.MaxSteps = h.MaxSteps
 	return spec
 }
 
-// runMicroWarm is RunMicro through the cache (cold when cache is nil),
-// also returning the cell's trace-JIT dispatch counters.
-func (h Harness) runMicroWarm(cache *warmCache, id ConfigID, op MicroOp) (cycles, traps uint64, js trace.JITStats) {
-	if cache == nil {
-		p := platform.MustBuild(h.benchSpec(id))
-		cycles, traps = RunMicroOn(p, op)
-		return cycles, traps, p.JITStats()
+// protectPanic runs fn, converting any panic (a watchdog abort during a
+// build, a model bug outside a platform's own Protect boundary) into a
+// typed *fault.SimError.
+func protectPanic(fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fault.Recover(v)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// cellEntry acquires a booted platform for spec (through the cache when
+// non-nil) with the watchdog budget freshly reset, converting boot-time
+// faults into a typed error.
+func cellEntry(cache *warmCache, spec platform.Spec) (e *warmEntry, err error) {
+	err = protectPanic(func() {
+		if cache == nil {
+			e = &warmEntry{p: platform.MustBuild(spec)}
+		} else {
+			e = cache.acquire(spec)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	e := cache.acquire(h.benchSpec(id))
+	// Budgets are per cell: without the reset, a pooled platform's earlier
+	// cells would eat into this cell's budget.
+	e.p.Watchdog().Reset()
+	return e, nil
+}
+
+// runMicroWarm is RunMicro through the cache (cold when cache is nil),
+// also returning the cell's trace-JIT dispatch counters. A watchdog
+// abort or model panic returns as a CellFault with zeroed measurements;
+// the poisoned platform is discarded, never pooled.
+func (h Harness) runMicroWarm(cache *warmCache, id ConfigID, op MicroOp) (cycles, traps uint64, js trace.JITStats, cf *CellFault) {
+	e, err := cellEntry(cache, h.benchSpec(id))
+	if err != nil {
+		return 0, 0, trace.JITStats{}, faultFrom(err)
+	}
 	before := e.p.JITStats()
-	cycles, traps = RunMicroOn(e.p, op)
+	if err := e.p.Protect(func() { cycles, traps = RunMicroOn(e.p, op) }); err != nil {
+		return 0, 0, trace.JITStats{}, faultFrom(err)
+	}
 	js = e.p.JITStats().Sub(before)
-	cache.release(e)
-	return cycles, traps, js
+	if cache != nil {
+		cache.release(e)
+	}
+	return cycles, traps, js, nil
 }
 
 // runAppWarm is RunApp through the cache (cold when cache is nil), also
-// returning the cell's trace-JIT dispatch counters.
-func (h Harness) runAppWarm(cache *warmCache, id ConfigID, p workload.Profile) (overhead float64, res workload.Result, js trace.JITStats) {
+// returning the cell's trace-JIT dispatch counters. Faults surface as a
+// CellFault, like runMicroWarm.
+func (h Harness) runAppWarm(cache *warmCache, id ConfigID, p workload.Profile) (overhead float64, res workload.Result, js trace.JITStats, cf *CellFault) {
 	if !id.IsARM() {
 		p = p.Scaled(3)
 	}
 	native := &workload.Native{}
 	nres := p.Run(native, native, native)
 
-	var e *warmEntry
-	if cache == nil {
-		e = &warmEntry{p: platform.MustBuild(h.benchSpec(id))}
-	} else {
-		e = cache.acquire(h.benchSpec(id))
+	e, err := cellEntry(cache, h.benchSpec(id))
+	if err != nil {
+		return 0, workload.Result{}, trace.JITStats{}, faultFrom(err)
 	}
 	plat := e.p
 	before := plat.JITStats()
-	plat.PreparePeer()
-	plat.RunGuest(0, func(g platform.Guest) {
-		res = p.Run(g, g, plat)
+	err = plat.Protect(func() {
+		plat.PreparePeer()
+		plat.RunGuest(0, func(g platform.Guest) {
+			res = p.Run(g, g, plat)
+		})
 	})
+	if err != nil {
+		return 0, workload.Result{}, trace.JITStats{}, faultFrom(err)
+	}
 	js = plat.JITStats().Sub(before)
 	if cache != nil {
 		cache.release(e)
 	}
 	overhead = float64(res.Cycles) / float64(nres.Cycles)
-	return overhead, res, js
+	return overhead, res, js, nil
 }
 
 // hypercallCostWarm is hypercallCost through the cache.
@@ -140,6 +212,7 @@ func hypercallCostWarm(cache *warmCache, spec platform.Spec) (cycles, traps uint
 		return hypercallCost(platform.MustBuild(spec))
 	}
 	e := cache.acquire(spec)
+	e.p.Watchdog().Reset()
 	cycles, traps = hypercallCost(e.p)
 	cache.release(e)
 	return cycles, traps

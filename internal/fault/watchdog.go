@@ -25,6 +25,17 @@ type Watchdog struct {
 // Traps returns the number of traps observed.
 func (w *Watchdog) Traps() uint64 { return w.traps }
 
+// Reset zeroes the counters so the budgets apply to the next run in
+// isolation. Pooled warm-boot platforms call this between sweep cells:
+// without it the cumulative counts of earlier cells would eat into a
+// later cell's budget and fault a healthy configuration.
+func (w *Watchdog) Reset() {
+	if w == nil {
+		return
+	}
+	w.traps, w.steps = 0, 0
+}
+
 // Steps returns the number of guest instructions observed.
 func (w *Watchdog) Steps() uint64 { return w.steps }
 

@@ -1,0 +1,520 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"time"
+
+	"github.com/nevesim/neve/internal/bench"
+	"github.com/nevesim/neve/internal/platform"
+)
+
+// Options configures one fleet sweep.
+type Options struct {
+	// Workers is the worker-slot count; <= 0 selects 2.
+	Workers int
+	// WorkerCmd is the argv spawning one worker process (required). The
+	// process must speak the fleet protocol on stdin/stdout — normally
+	// `nevesim serve`, or the re-exec'd test binary.
+	WorkerCmd []string
+	// WorkerEnv is appended to each worker's environment.
+	WorkerEnv []string
+	// WorkerStderr receives the workers' stderr; nil discards it.
+	WorkerStderr io.Writer
+
+	// Configs is the configuration sweep; nil selects bench.AllConfigs().
+	Configs []bench.ConfigID
+	// JITOff, MaxTraps, MaxSteps mirror the bench.Harness fields and are
+	// forwarded to every worker.
+	JITOff   bool
+	MaxTraps uint64
+	MaxSteps uint64
+	// StoreDir, when non-empty, is the durable checkpoint store directory
+	// every worker shares.
+	StoreDir string
+
+	// MaxRetries is how many times a cell lost to a worker death is
+	// re-queued before being marked degraded; <= 0 selects 3.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between retries of the same cell (base, 2*base, 4*base, ... capped
+	// at max); zero selects 10ms and 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxRespawns bounds worker processes started beyond the initial
+	// pool across the whole sweep; 0 selects 4*Workers and a negative
+	// value forbids respawning entirely. When a slot exhausts it the
+	// slot retires; when every slot is gone, the cells still outstanding
+	// are marked degraded and the sweep converges on what it has.
+	MaxRespawns int
+
+	// CrashWorker/CrashAfter inject a deterministic worker crash: the
+	// first process of slot CrashWorker exits without replying upon
+	// receiving its CrashAfter-th cell (1-based). Respawned processes
+	// are not re-armed. Zero CrashAfter disables injection.
+	CrashWorker int
+	CrashAfter  int
+
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+func (o Options) maxRetries() int {
+	if o.MaxRetries > 0 {
+		return o.MaxRetries
+	}
+	return 3
+}
+
+func (o Options) maxRespawns() int {
+	if o.MaxRespawns > 0 {
+		return o.MaxRespawns
+	}
+	if o.MaxRespawns < 0 {
+		return 0
+	}
+	return 4 * o.workers()
+}
+
+func (o Options) backoff(attempt int) time.Duration {
+	base, max := o.BackoffBase, o.BackoffMax
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 500 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// Reference returns the single-process harness equivalent to this fleet
+// sweep — the reference side of the byte-equivalence gate.
+func (o Options) Reference() bench.Harness {
+	return bench.Harness{
+		Parallelism: 1,
+		Configs:     o.Configs,
+		JITOff:      o.JITOff,
+		MaxTraps:    o.MaxTraps,
+		MaxSteps:    o.MaxSteps,
+	}
+}
+
+func (o Options) configs() []bench.ConfigID {
+	if o.Configs != nil {
+		return o.Configs
+	}
+	return bench.AllConfigs()
+}
+
+// Run reconciles the sweep to convergence: it spawns the worker pool,
+// shards the cell grid to it, recovers from worker crashes by
+// respawning and re-queuing lost cells with capped exponential backoff,
+// and returns once every cell is either observed or degraded. Only a
+// fleet that cannot start at all (bad WorkerCmd) returns an error;
+// crashes and degraded cells are reconciliation outcomes, not failures.
+func Run(opts Options) (*SweepResult, error) {
+	if len(opts.WorkerCmd) == 0 {
+		return nil, fmt.Errorf("fleet: Options.WorkerCmd is required")
+	}
+	cells := grid(opts.configs())
+	nMicro := len(bench.MicroOps()) * len(opts.configs())
+	o := &orch{
+		opts:      opts,
+		cells:     cells,
+		nMicro:    nMicro,
+		micro:     make([]bench.MicroResult, nMicro),
+		apps:      make([]bench.AppResult, len(cells)-nMicro),
+		completed: make([]bool, len(cells)),
+		attempts:  make([]int, len(cells)),
+		remaining: len(cells),
+		queue:     make(chan int, len(cells)),
+		done:      make(chan struct{}),
+		live:      opts.workers(),
+	}
+	// Seed the desired state: every cell is outstanding.
+	for i := range cells {
+		o.queue <- i
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for slot := 0; slot < opts.workers(); slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			o.runSlot(slot)
+		}(slot)
+	}
+	wg.Wait()
+
+	res := &SweepResult{
+		Micro:    o.micro,
+		Apps:     o.apps,
+		Degraded: o.degraded,
+		Stats: Stats{
+			Workers:  opts.workers(),
+			Cells:    len(cells),
+			Retries:  o.retries,
+			Respawns: o.respawns,
+			Degraded: len(o.degraded),
+			Store:    o.storeStats,
+			WallMS:   float64(time.Since(start).Microseconds()) / 1000,
+		},
+	}
+	if o.spawnErr != nil && o.firstSpawnFailures == opts.workers() {
+		// Not one worker ever came up: the fleet never existed. This is
+		// the one unrecoverable configuration error.
+		return nil, fmt.Errorf("fleet: no worker could be started: %v", o.spawnErr)
+	}
+	return res, nil
+}
+
+type orch struct {
+	opts   Options
+	cells  []Cell
+	nMicro int
+	micro  []bench.MicroResult
+	apps   []bench.AppResult
+
+	queue chan int      // outstanding cell indices; never closed
+	done  chan struct{} // closed when remaining hits zero
+	once  sync.Once
+
+	mu                 sync.Mutex
+	completed          []bool
+	attempts           []int
+	degraded           []DegradedCell
+	remaining          int
+	retries            int
+	respawns           int
+	live               int
+	storeStats         platform.StoreStats
+	spawnErr           error
+	firstSpawnFailures int
+}
+
+func (o *orch) logf(format string, args ...any) {
+	if o.opts.Log != nil {
+		fmt.Fprintf(o.opts.Log, "fleet: "+format+"\n", args...)
+	}
+}
+
+// runSlot is one worker slot's lifecycle: spawn, serve cells, and on
+// crash respawn (within the respawn budget) until the sweep converges.
+func (o *orch) runSlot(slot int) {
+	defer o.slotExit()
+	first := true
+	for {
+		select {
+		case <-o.done:
+			return
+		default:
+		}
+		w, err := o.startWorker(slot, first)
+		if err != nil {
+			o.logf("worker %d: spawn failed: %v", slot, err)
+			o.mu.Lock()
+			o.spawnErr = err
+			if first {
+				o.firstSpawnFailures++
+			}
+			o.mu.Unlock()
+			first = false
+			if !o.chargeRespawn(slot) {
+				return
+			}
+			continue
+		}
+		if !first {
+			o.logf("worker %d: respawned (pid %d)", slot, w.pid)
+		}
+		first = false
+		if o.serveCells(slot, w) {
+			// Graceful shutdown: the sweep converged while this worker
+			// was serving.
+			return
+		}
+		w.abort()
+		if !o.chargeRespawn(slot) {
+			return
+		}
+	}
+}
+
+// serveCells feeds the worker one cell at a time until the sweep
+// converges (returns true after a graceful shutdown) or the worker dies
+// (returns false; the in-flight cell has been re-queued or degraded).
+func (o *orch) serveCells(slot int, w *worker) bool {
+	for {
+		select {
+		case <-o.done:
+			o.shutdown(w)
+			return true
+		case idx := <-o.queue:
+			if o.isCompleted(idx) {
+				// A cell degraded by a dying fleet while its backoff
+				// timer was pending; nothing to do.
+				continue
+			}
+			if err := w.send(Request{Op: "cell", Seq: idx, Cell: &o.cells[idx]}); err != nil {
+				o.cellFailed(slot, idx, fmt.Sprintf("worker died taking cell: %v", err))
+				return false
+			}
+			resp, err := w.recv()
+			if err != nil {
+				o.cellFailed(slot, idx, fmt.Sprintf("worker died running cell: %v", err))
+				return false
+			}
+			if resp.Op != "result" || resp.Seq != idx {
+				o.cellFailed(slot, idx, fmt.Sprintf("protocol violation: got op=%q seq=%d for cell %d", resp.Op, resp.Seq, idx))
+				return false
+			}
+			if resp.Err != "" {
+				o.cellFailed(slot, idx, resp.Err)
+				continue // the worker is healthy; only the request was bad
+			}
+			o.recordResult(idx, resp)
+		}
+	}
+}
+
+// shutdown drains a healthy worker: exit request, bye with store
+// counters, reap.
+func (o *orch) shutdown(w *worker) {
+	if err := w.send(Request{Op: "exit"}); err == nil {
+		if resp, err := w.recv(); err == nil && resp.Op == "bye" && resp.Store != nil {
+			o.mu.Lock()
+			o.storeStats.AddStats(*resp.Store)
+			o.mu.Unlock()
+		}
+	}
+	w.close()
+}
+
+// recordResult merges one observed cell into the sweep.
+func (o *orch) recordResult(idx int, resp Response) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.completed[idx] {
+		return
+	}
+	switch {
+	case idx < o.nMicro && resp.Micro != nil:
+		o.micro[idx] = *resp.Micro
+	case idx >= o.nMicro && resp.App != nil:
+		o.apps[idx-o.nMicro] = *resp.App
+	default:
+		// Wrong result shape for the slot; treat as a failed attempt.
+		o.failLocked(idx, "result kind does not match cell kind")
+		return
+	}
+	o.finishLocked(idx)
+	// Stream the partial result as it lands — the observed state is
+	// always inspectable mid-sweep, not only at convergence.
+	o.logf("cell %s done (%d/%d)", o.cells[idx], len(o.cells)-o.remaining, len(o.cells))
+}
+
+// cellFailed handles one lost attempt: re-queue with backoff, or
+// degrade once the retry budget is spent.
+func (o *orch) cellFailed(slot int, idx int, reason string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.completed[idx] {
+		return
+	}
+	o.logf("worker %d: cell %s attempt %d failed: %s", slot, o.cells[idx], o.attempts[idx]+1, reason)
+	o.failLocked(idx, reason)
+}
+
+func (o *orch) failLocked(idx int, reason string) {
+	o.attempts[idx]++
+	if o.attempts[idx] > o.opts.maxRetries() {
+		o.degradeLocked(idx, reason)
+		return
+	}
+	o.retries++
+	delay := o.opts.backoff(o.attempts[idx])
+	// The timer fires at most once per failure and the cell cannot be
+	// in flight while it is pending, so the queue (capacity = grid
+	// size) can never overflow. The queue is never closed; after
+	// convergence a late enqueue parks harmlessly in the buffer.
+	time.AfterFunc(delay, func() { o.queue <- idx })
+}
+
+// degradeLocked gives up on a cell: its row carries a "degraded" fault
+// so the merged tables render ERR:degraded instead of a bogus zero.
+func (o *orch) degradeLocked(idx int, reason string) {
+	cf := &bench.CellFault{Kind: "degraded", Msg: reason}
+	if idx < o.nMicro {
+		o.micro[idx] = bench.MicroResult{Op: o.cells[idx].Op, Config: o.cells[idx].Config, Fault: cf}
+	} else {
+		o.apps[idx-o.nMicro] = bench.AppResult{Workload: o.cells[idx].Workload, Config: o.cells[idx].Config, Fault: cf}
+	}
+	o.degraded = append(o.degraded, DegradedCell{Cell: o.cells[idx], Attempts: o.attempts[idx], LastErr: reason})
+	o.logf("cell %s DEGRADED after %d attempts: %s", o.cells[idx], o.attempts[idx], reason)
+	o.finishLocked(idx)
+}
+
+func (o *orch) finishLocked(idx int) {
+	o.completed[idx] = true
+	o.remaining--
+	if o.remaining == 0 {
+		o.once.Do(func() { close(o.done) })
+	}
+}
+
+func (o *orch) isCompleted(idx int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.completed[idx]
+}
+
+// chargeRespawn consumes one unit of the respawn budget; false retires
+// the slot.
+func (o *orch) chargeRespawn(slot int) bool {
+	select {
+	case <-o.done:
+		return false
+	default:
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.respawns >= o.opts.maxRespawns() {
+		o.logf("worker %d: respawn budget (%d) exhausted; retiring slot", slot, o.opts.maxRespawns())
+		return false
+	}
+	o.respawns++
+	return true
+}
+
+// slotExit retires a slot; when the last slot goes, every cell still
+// outstanding is degraded so the sweep converges instead of hanging.
+func (o *orch) slotExit() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.live--
+	if o.live > 0 || o.remaining == 0 {
+		return
+	}
+	for idx := range o.cells {
+		if !o.completed[idx] {
+			o.attempts[idx]++
+			o.degradeLocked(idx, "no live workers left")
+		}
+	}
+}
+
+// startWorker spawns one worker process and completes the config/hello
+// handshake. Only the first process of the injection slot is armed to
+// crash.
+func (o *orch) startWorker(slot int, first bool) (*worker, error) {
+	cfg := WorkerConfig{
+		JITOff:   o.opts.JITOff,
+		MaxTraps: o.opts.MaxTraps,
+		MaxSteps: o.opts.MaxSteps,
+		StoreDir: o.opts.StoreDir,
+	}
+	if first && o.opts.CrashAfter > 0 && slot == o.opts.CrashWorker {
+		cfg.CrashAfter = o.opts.CrashAfter
+	}
+	w, err := spawnWorker(o.opts.WorkerCmd, o.opts.WorkerEnv, o.opts.WorkerStderr)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.send(Request{Op: "config", Config: &cfg}); err != nil {
+		w.abort()
+		return nil, fmt.Errorf("config: %v", err)
+	}
+	resp, err := w.recv()
+	if err != nil {
+		w.abort()
+		return nil, fmt.Errorf("hello: %v", err)
+	}
+	if resp.Op != "hello" {
+		w.abort()
+		return nil, fmt.Errorf("hello: got op %q", resp.Op)
+	}
+	w.pid = resp.PID
+	return w, nil
+}
+
+// worker is one live worker process and its protocol streams.
+type worker struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	enc *json.Encoder
+	sc  *bufio.Scanner
+	pid int
+}
+
+func spawnWorker(argv, env []string, stderr io.Writer) (*worker, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	if len(env) > 0 {
+		cmd.Env = append(cmd.Environ(), env...)
+	}
+	cmd.Stderr = stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	return &worker{cmd: cmd, in: in, enc: json.NewEncoder(in), sc: sc}, nil
+}
+
+func (w *worker) send(req Request) error { return w.enc.Encode(req) }
+
+// recv reads the next response; a dead worker surfaces as an error.
+func (w *worker) recv() (Response, error) {
+	if !w.sc.Scan() {
+		if err := w.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, io.EOF
+	}
+	var resp Response
+	if err := json.Unmarshal(w.sc.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("bad response: %v", err)
+	}
+	return resp, nil
+}
+
+// close reaps a gracefully shut-down worker.
+func (w *worker) close() {
+	w.in.Close()
+	w.cmd.Wait()
+}
+
+// abort kills and reaps a worker presumed dead or wedged.
+func (w *worker) abort() {
+	w.in.Close()
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	w.cmd.Wait()
+}

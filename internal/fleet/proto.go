@@ -1,0 +1,102 @@
+// Package fleet runs a benchmark sweep as a reconciling fleet: an
+// orchestrator holds the desired sweep (the full configuration x
+// benchmark grid) as a declarative object and drives a pool of worker
+// processes until the observed results converge on it. Cells are
+// sharded to workers over a line-oriented JSON protocol on the worker's
+// stdin/stdout; a worker that crashes mid-cell is respawned and the
+// lost cell is retried with capped exponential backoff before being
+// marked degraded — the sweep converges, it never fails or hangs.
+//
+// Because every cell's result is independent and deterministic (the
+// property internal/bench's CellRunner guarantees and its tests
+// enforce), the merged sweep is byte-identical to a single-process
+// Harness run regardless of worker count, sharding, interleaving,
+// crashes, or retries. Workers share one durable checkpoint store, so a
+// respawned worker warm-boots from checkpoints its predecessor saved.
+package fleet
+
+import (
+	"github.com/nevesim/neve/internal/bench"
+	"github.com/nevesim/neve/internal/platform"
+)
+
+// Protocol: the orchestrator writes one Request per line to the
+// worker's stdin and reads one Response per line from its stdout.
+// The exchange is strictly request/response:
+//
+//	config -> hello        harness configuration, sent once first
+//	cell   -> result       run one sweep cell
+//	exit   -> bye          graceful shutdown; bye carries store counters
+//
+// A worker that dies shows up as EOF (or a write error) instead of a
+// response; the orchestrator treats both identically.
+
+// Request is one orchestrator -> worker message.
+type Request struct {
+	// Op is "config", "cell", or "exit".
+	Op string `json:"op"`
+	// Config accompanies op=config.
+	Config *WorkerConfig `json:"config,omitempty"`
+	// Seq and Cell accompany op=cell; the worker echoes Seq in its
+	// result so stale responses can never be credited to the wrong cell.
+	Seq  int   `json:"seq,omitempty"`
+	Cell *Cell `json:"cell,omitempty"`
+}
+
+// WorkerConfig configures the worker's harness. It travels in the
+// protocol's first message rather than argv, so one `nevesim serve`
+// invocation serves any sweep shape.
+type WorkerConfig struct {
+	// JITOff, MaxTraps, MaxSteps mirror the bench.Harness fields.
+	JITOff   bool   `json:"jit_off,omitempty"`
+	MaxTraps uint64 `json:"max_traps,omitempty"`
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// StoreDir, when non-empty, opens the durable checkpoint store there
+	// and backs the worker's warm-boot cache with it. All workers of a
+	// fleet share one directory.
+	StoreDir string `json:"store_dir,omitempty"`
+	// CrashAfter, when n > 0, makes the worker exit(3) upon RECEIVING its
+	// n-th cell request, without replying — a deterministic stand-in for
+	// a worker killed mid-cell. The chaos hook fleet tests and
+	// `make fleet-smoke` use to exercise crash recovery.
+	CrashAfter int `json:"crash_after,omitempty"`
+}
+
+// Cell identifies one sweep cell.
+type Cell struct {
+	// Kind is "micro" or "app".
+	Kind string `json:"kind"`
+	// Config is the bench configuration (stable int enum).
+	Config bench.ConfigID `json:"config"`
+	// Op is the microbenchmark for kind=micro.
+	Op bench.MicroOp `json:"bench,omitempty"`
+	// Workload is the profile name for kind=app.
+	Workload string `json:"workload,omitempty"`
+}
+
+// String renders the cell for progress lines and degraded reports.
+func (c Cell) String() string {
+	if c.Kind == "micro" {
+		return c.Op.String() + "/" + c.Config.SpecName()
+	}
+	return c.Workload + "/" + c.Config.SpecName()
+}
+
+// Response is one worker -> orchestrator message.
+type Response struct {
+	// Op is "hello", "result", or "bye".
+	Op string `json:"op"`
+	// PID accompanies hello.
+	PID int `json:"pid,omitempty"`
+	// Seq echoes the request's Seq on result.
+	Seq int `json:"seq,omitempty"`
+	// Micro or App carries the cell's result row; Err reports a
+	// protocol-level failure instead (unknown cell kind or workload —
+	// never a cell fault, which travels inside the row).
+	Micro *bench.MicroResult `json:"micro,omitempty"`
+	App   *bench.AppResult   `json:"app,omitempty"`
+	Err   string             `json:"err,omitempty"`
+	// Store accompanies bye: the worker process's checkpoint-store
+	// counters, merged into the sweep report.
+	Store *platform.StoreStats `json:"store,omitempty"`
+}

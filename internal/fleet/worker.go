@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/nevesim/neve/internal/bench"
+	"github.com/nevesim/neve/internal/platform"
+)
+
+// maxLine bounds one protocol line. Result rows are a few hundred
+// bytes; a megabyte leaves room without letting a corrupt stream
+// allocate without bound.
+const maxLine = 1 << 20
+
+// Serve runs the worker side of the fleet protocol on in/out until an
+// exit request or EOF (the orchestrator closing the pipe is a normal
+// shutdown). Every cell runs through one bench.CellRunner, so the
+// worker keeps a warm-boot cache — and, when the config names a store
+// directory, shares durable checkpoints with the rest of the fleet.
+//
+// This is the body of `nevesim serve`; fleet tests re-exec the test
+// binary into it.
+func Serve(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	enc := json.NewEncoder(out)
+
+	var runner *bench.CellRunner
+	var crashAfter, cellsSeen int
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			return fmt.Errorf("fleet worker: bad request: %v", err)
+		}
+		switch req.Op {
+		case "config":
+			if req.Config == nil {
+				return fmt.Errorf("fleet worker: config request without config")
+			}
+			h := bench.Harness{
+				Parallelism: 1,
+				JITOff:      req.Config.JITOff,
+				MaxTraps:    req.Config.MaxTraps,
+				MaxSteps:    req.Config.MaxSteps,
+			}
+			if dir := req.Config.StoreDir; dir != "" {
+				st, err := platform.OpenCheckpointStore(dir)
+				if err != nil {
+					return fmt.Errorf("fleet worker: %v", err)
+				}
+				h.Store = st
+			}
+			runner = h.NewCellRunner()
+			crashAfter = req.Config.CrashAfter
+			if err := enc.Encode(Response{Op: "hello", PID: os.Getpid()}); err != nil {
+				return err
+			}
+		case "cell":
+			if runner == nil {
+				return fmt.Errorf("fleet worker: cell before config")
+			}
+			cellsSeen++
+			if crashAfter > 0 && cellsSeen >= crashAfter {
+				// Injected crash: die holding the cell, no reply. Exit
+				// bypasses deferred cleanup on purpose — the point is an
+				// abrupt death the orchestrator must recover from.
+				os.Exit(3)
+			}
+			if err := enc.Encode(runCell(runner, req)); err != nil {
+				return err
+			}
+		case "exit":
+			resp := Response{Op: "bye"}
+			stats := runner.StoreStats()
+			resp.Store = &stats
+			return enc.Encode(resp)
+		default:
+			return fmt.Errorf("fleet worker: unknown op %q", req.Op)
+		}
+	}
+	return sc.Err()
+}
+
+// runCell executes one cell request. Cell faults (livelock, panic)
+// travel inside the result row; only protocol-level mistakes produce
+// Err responses.
+func runCell(runner *bench.CellRunner, req Request) Response {
+	resp := Response{Op: "result", Seq: req.Seq}
+	if req.Cell == nil {
+		resp.Err = "cell request without cell"
+		return resp
+	}
+	switch req.Cell.Kind {
+	case "micro":
+		r := runner.Micro(req.Cell.Config, req.Cell.Op)
+		resp.Micro = &r
+	case "app":
+		r, err := runner.App(req.Cell.Config, req.Cell.Workload)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.App = &r
+	default:
+		resp.Err = fmt.Sprintf("unknown cell kind %q", req.Cell.Kind)
+	}
+	return resp
+}

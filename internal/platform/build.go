@@ -49,6 +49,10 @@ type Platform interface {
 	// Injector returns the attached fault injector (nil unless the spec's
 	// Faults plan is active).
 	Injector() *fault.Injector
+	// Watchdog returns the attached livelock watchdog (nil unless the
+	// spec sets trap/step budgets). Pooled platforms reset it between
+	// sweep cells so budgets apply per cell, not cumulatively.
+	Watchdog() *fault.Watchdog
 	// PreparePeer loads vCPU 1's innermost guest so it can receive IPIs;
 	// a no-op on single-CPU platforms.
 	PreparePeer()

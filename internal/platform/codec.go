@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"fmt"
+
+	"github.com/nevesim/neve/internal/wire"
+)
+
+// Checkpoint payload layout: a one-byte architecture tag followed by the
+// stack encoding. The tag is a safety net inside an already-keyed store —
+// entries are addressed by the spec's axes, so an arch mismatch can only
+// mean key corruption, and it should fail loudly rather than feed ARM
+// bytes to the x86 decoder.
+const (
+	tagARM = 'A'
+	tagX86 = 'X'
+)
+
+// EncodeCheckpoint renders a checkpoint taken from p into its durable
+// binary form. It fails (without writing anything useful) when the
+// checkpoint carries state the codec cannot express — notably a guest
+// IRQ handler, which marks a mid-workload capture rather than a boot
+// checkpoint.
+func EncodeCheckpoint(p Platform, cp *Checkpoint) ([]byte, error) {
+	w := &wire.Writer{}
+	switch {
+	case cp.arm != nil:
+		if p.ARM() == nil {
+			return nil, fmt.Errorf("platform: encoding an ARM checkpoint against an x86 platform")
+		}
+		w.U8(tagARM)
+		p.ARM().EncodeCheckpoint(w, cp.arm)
+	case cp.x86 != nil:
+		if p.X86() == nil {
+			return nil, fmt.Errorf("platform: encoding an x86 checkpoint against an ARM platform")
+		}
+		w.U8(tagX86)
+		p.X86().EncodeCheckpoint(w, cp.x86)
+	default:
+		return nil, fmt.Errorf("platform: empty checkpoint")
+	}
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeCheckpoint reads a payload written by EncodeCheckpoint,
+// materializing the checkpoint against the live platform p (which must
+// have been built from the same spec — the store's content addressing
+// guarantees this). The returned checkpoint is interchangeable with one
+// from p.Snapshot(); any mismatch or corruption returns an error and the
+// platform is left untouched.
+func DecodeCheckpoint(p Platform, b []byte) (*Checkpoint, error) {
+	r := wire.NewReader(b)
+	cp := &Checkpoint{}
+	switch tag := r.U8(); tag {
+	case tagARM:
+		if p.ARM() == nil {
+			return nil, fmt.Errorf("platform: ARM checkpoint payload for an x86 platform")
+		}
+		cp.arm = p.ARM().DecodeCheckpoint(r)
+	case tagX86:
+		if p.X86() == nil {
+			return nil, fmt.Errorf("platform: x86 checkpoint payload for an ARM platform")
+		}
+		cp.x86 = p.X86().DecodeCheckpoint(r)
+	default:
+		return nil, fmt.Errorf("platform: unknown checkpoint arch tag %#x", tag)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n := r.Remaining(); n != 0 {
+		return nil, fmt.Errorf("platform: %d trailing bytes after checkpoint", n)
+	}
+	return cp, nil
+}

@@ -1,0 +1,258 @@
+package platform
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// bootAndEncode builds spec, snapshots at boot, and encodes the
+// checkpoint.
+func bootAndEncode(t *testing.T, spec Spec) (Platform, []byte) {
+	t.Helper()
+	p := MustBuild(spec)
+	b, err := EncodeCheckpoint(p, p.Snapshot())
+	if err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	return p, b
+}
+
+// TestCheckpointCodecEquivalence is the durability analogue of
+// TestSnapshotRestoreEquivalence: for every registry configuration, a
+// boot checkpoint that travels through the binary codec into a fresh
+// process-equivalent platform (a separate build of the same spec) must
+// produce byte-identical cycle/trap/event output to a cold run.
+func TestCheckpointCodecEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("codec equivalence matrix skipped in -short mode")
+	}
+	for _, spec := range Registry() {
+		spec := spec
+		spec.CPUs = 2
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			want := runCellSignature(MustBuild(spec))
+
+			_, b := bootAndEncode(t, spec)
+			fresh := MustBuild(spec)
+			cp, err := DecodeCheckpoint(fresh, b)
+			if err != nil {
+				t.Fatalf("DecodeCheckpoint: %v", err)
+			}
+			fresh.Restore(cp)
+			if got := runCellSignature(fresh); got != want {
+				t.Fatalf("decoded-restore run diverged from cold run:\ncold:\n%s\ngot:\n%s", want, got)
+			}
+			// The decoded checkpoint must be restorable repeatedly, like a
+			// native one.
+			fresh.Restore(cp)
+			if got := runCellSignature(fresh); got != want {
+				t.Fatalf("second decoded-restore run diverged:\ncold:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestCheckpointEncodeDeterministic pins the property content addressing
+// depends on: two independent builds of the same spec encode their boot
+// checkpoints to identical bytes.
+func TestCheckpointEncodeDeterministic(t *testing.T) {
+	for _, name := range []string{"vm", "neve", "neve-vhe", "x86-nested"} {
+		t.Run(name, func(t *testing.T) {
+			spec := MustLookup(name)
+			spec.CPUs = 2
+			_, b1 := bootAndEncode(t, spec)
+			_, b2 := bootAndEncode(t, spec)
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("independent builds encoded different boot checkpoints (%d vs %d bytes)", len(b1), len(b2))
+			}
+		})
+	}
+}
+
+// TestEncodeRejectsMidWorkloadCheckpoint: a checkpoint carrying an
+// installed guest IRQ handler is not a boot checkpoint and must be
+// refused, not silently dropped.
+func TestEncodeRejectsMidWorkloadCheckpoint(t *testing.T) {
+	spec := MustLookup("neve")
+	spec.CPUs = 2
+	p := MustBuild(spec)
+	p.RunGuest(0, func(g Guest) { g.OnIRQ(func(int) {}) })
+	if _, err := EncodeCheckpoint(p, p.Snapshot()); err == nil {
+		t.Fatal("EncodeCheckpoint accepted a checkpoint with an installed IRQ handler")
+	}
+}
+
+// TestDecodeRejectsMismatchedTopology: a payload from one configuration
+// must not decode against a platform of another shape.
+func TestDecodeRejectsMismatchedTopology(t *testing.T) {
+	from := MustLookup("neve")
+	from.CPUs = 2
+	_, b := bootAndEncode(t, from)
+
+	to := MustLookup("vm") // one nesting level fewer
+	to.CPUs = 2
+	if _, err := DecodeCheckpoint(MustBuild(to), b); err == nil {
+		t.Fatal("DecodeCheckpoint accepted a checkpoint from a different stack shape")
+	}
+
+	x := MustLookup("x86-vm")
+	x.CPUs = 2
+	if _, err := DecodeCheckpoint(MustBuild(x), b); err == nil {
+		t.Fatal("DecodeCheckpoint accepted an ARM payload on an x86 platform")
+	}
+}
+
+// TestDecodeSurvivesArbitraryCorruption: every truncation and a sweep of
+// bit flips must return an error, never panic and never a silently wrong
+// checkpoint being accepted as valid... flips that only touch data bytes
+// can decode structurally, which is why the store layers a content hash
+// on top; here we only require no panic and no crash.
+func TestDecodeSurvivesArbitraryCorruption(t *testing.T) {
+	spec := MustLookup("neve")
+	spec.CPUs = 2
+	_, b := bootAndEncode(t, spec)
+
+	for _, n := range []int{0, 1, len(b) / 2, len(b) - 1} {
+		if _, err := DecodeCheckpoint(MustBuild(spec), b[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	for off := 0; off < len(b); off += 1 + len(b)/97 {
+		mut := append([]byte(nil), b...)
+		mut[off] ^= 0x40
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					t.Fatalf("bit flip at %d panicked: %v", off, v)
+				}
+			}()
+			DecodeCheckpoint(MustBuild(spec), mut)
+		}()
+	}
+}
+
+// TestCheckpointStoreRoundTrip: save, load (same handle), and load from
+// a reopened handle — the restart path — all return the payload, and the
+// counters track hits/misses/saves.
+func TestCheckpointStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MustLookup("neve")
+	spec.CPUs = 2
+
+	if _, ok := st.Load(spec); ok {
+		t.Fatal("Load hit on an empty store")
+	}
+	payload := []byte("boot checkpoint payload")
+	if err := st.Save(spec, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Load(spec)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Load = %q, %v; want payload, true", got, ok)
+	}
+
+	st2, err := OpenCheckpointStore(dir) // restart
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st2.Load(spec); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("reopened store lost the entry")
+	}
+
+	stats := st.Stats()
+	if stats.Misses != 1 || stats.Hits != 1 || stats.Saves != 1 || stats.Corrupt != 0 {
+		t.Fatalf("stats = %+v; want 1 miss, 1 hit, 1 save", stats)
+	}
+}
+
+// TestCheckpointStoreCorruption: truncated and bit-flipped entries are
+// detected by the content hash, counted, removed, and reported as misses
+// so the caller transparently falls back to a cold boot.
+func TestCheckpointStoreCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte("nested virtualization"), 100)
+	corruptions := map[string]func([]byte) []byte{
+		"truncated-header":  func(b []byte) []byte { return b[:4] },
+		"truncated-payload": func(b []byte) []byte { return b[:len(b)-7] },
+		"bit-flip-payload":  func(b []byte) []byte { b[len(b)-3] ^= 1; return b },
+		"bit-flip-hash":     func(b []byte) []byte { b[len(storeMagic)+9] ^= 1; return b },
+		"bad-magic":         func(b []byte) []byte { b[0] ^= 1; return b },
+		"empty":             func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			st, err := OpenCheckpointStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := MustLookup("vm")
+			spec.CPUs = 2
+			if err := st.Save(spec, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(st.Dir(), st.Key(spec)+".ckpt")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := st.Load(spec); ok {
+				t.Fatal("Load returned a corrupted entry as valid")
+			}
+			if got := st.Stats().Corrupt; got != 1 {
+				t.Fatalf("Corrupt counter = %d; want 1", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupted entry not removed")
+			}
+			// The slot is reusable: a rewrite heals the store.
+			if err := st.Save(spec, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Load(spec); !ok || !bytes.Equal(got, payload) {
+				t.Fatal("store did not heal after rewriting the corrupted entry")
+			}
+		})
+	}
+}
+
+// TestStoreServesWarmBootsAcrossBuilds is the end-to-end store contract:
+// a checkpoint saved by one platform build serves a warm boot to a
+// completely fresh build (standing in for a fresh worker process), with
+// output byte-identical to a cold run.
+func TestStoreServesWarmBootsAcrossBuilds(t *testing.T) {
+	st, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MustLookup("neve-vhe")
+	spec.CPUs = 2
+	want := runCellSignature(MustBuild(spec))
+
+	p, b := bootAndEncode(t, spec)
+	if err := st.Save(p.Spec(), b); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := MustBuild(spec) // the "new worker"
+	payload, ok := st.Load(spec)
+	if !ok {
+		t.Fatal("store missed a just-saved entry")
+	}
+	cp, err := DecodeCheckpoint(fresh, payload)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	fresh.Restore(cp)
+	if got := runCellSignature(fresh); got != want {
+		t.Fatalf("store-served warm boot diverged from cold run:\ncold:\n%s\ngot:\n%s", want, got)
+	}
+}

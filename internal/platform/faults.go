@@ -52,6 +52,8 @@ func (p *armPlatform) installFaults() {
 
 func (p *armPlatform) Injector() *fault.Injector { return p.inj }
 
+func (p *armPlatform) Watchdog() *fault.Watchdog { return p.wd }
+
 // Protect runs fn under the recovery boundary: any panic — a watchdog
 // abort, an injected fault the stack could not absorb, a guest-triggered
 // model bug — returns as a *fault.SimError annotated with CPU state,
@@ -194,6 +196,8 @@ func (p *x86Platform) installFaults() {
 }
 
 func (p *x86Platform) Injector() *fault.Injector { return p.inj }
+
+func (p *x86Platform) Watchdog() *fault.Watchdog { return p.wd }
 
 // Protect implements the recovery boundary for x86 stacks; see the ARM
 // variant for semantics.

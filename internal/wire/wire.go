@@ -1,0 +1,194 @@
+// Package wire is the binary codec substrate for durable checkpoint
+// serialization. Component checkpoints (internal/mem, arm, gic, ...)
+// render their data fields through a Writer and read them back through a
+// Reader; the fleet checkpoint store persists the resulting bytes.
+//
+// The encoding is deliberately plain: fixed-width little-endian integers
+// and length-prefixed byte strings, no compression, no reflection. Two
+// properties matter more than compactness:
+//
+//   - Determinism: the same state always encodes to the same bytes (maps
+//     are emitted in sorted key order), so content addressing — hashing
+//     the payload — identifies identical checkpoints across processes.
+//   - Fail-stop decoding: a Reader carries a sticky error; a truncated or
+//     corrupted stream makes every subsequent read return zero values and
+//     leaves the error set, so decoders check Err() once at the end
+//     instead of at every field, and corruption can never panic a worker.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Writer accumulates an encoded payload.
+type Writer struct {
+	buf []byte
+	err error
+}
+
+// Bytes returns the encoded payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Err returns the first error recorded by Fail (nil otherwise).
+func (w *Writer) Err() error { return w.err }
+
+// Fail records an encoding error (e.g. state the codec cannot express,
+// like an installed guest IRQ handler). The first error sticks.
+func (w *Writer) Fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf(format, args...)
+	}
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// Int appends an int as a little-endian two's-complement uint64.
+func (w *Writer) Int(v int) { w.U64(uint64(v)) }
+
+// Len appends a collection length (uint32; collections beyond 4G entries
+// do not occur in checkpoints).
+func (w *Writer) Len(n int) {
+	if n < 0 || int64(n) > int64(^uint32(0)) {
+		w.Fail("wire: length %d out of range", n)
+		n = 0
+	}
+	w.U32(uint32(n))
+}
+
+// Blob appends a length-prefixed byte string.
+func (w *Writer) Blob(b []byte) {
+	w.Len(len(b))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Len(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes a payload produced by a Writer. All reads after an error
+// (truncation, a length exceeding the remaining bytes) return zero values;
+// Err reports the first failure.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records a decoding error (semantic mismatches discovered by a
+// caller, e.g. a topology that does not fit the live stack).
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.Fail("wire: truncated payload (need %d bytes, have %d)", n, r.Remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(int64(r.U64())) }
+
+// Len reads a collection length and sanity-checks it against the
+// remaining bytes (each element occupies at least one byte in every
+// encoding here), so a corrupted length cannot drive a huge allocation.
+func (r *Reader) Len() int {
+	n := int(r.U32())
+	if r.err == nil && n > r.Remaining() {
+		r.Fail("wire: length %d exceeds remaining %d bytes", n, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Blob reads a length-prefixed byte string. The returned slice aliases
+// the payload; callers that retain it must copy.
+func (r *Reader) Blob() []byte {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Blob()) }
