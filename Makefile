@@ -7,7 +7,7 @@
 GO ?= go
 EXAMPLES := quickstart virtecho nestedboot recursive memcached
 
-.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke jit-equiv-smoke smp-race smp-bench-smoke fleet-smoke profile
+.PHONY: all build test race vet fmt-check examples-smoke fuzz-smoke ci bench bench-smoke bench-json bench-diff benchdiff-smoke jit-equiv-smoke jit-param-smoke smp-race smp-bench-smoke fleet-smoke profile
 
 FUZZ_TARGETS := FuzzDifferentialNVvsNEVE FuzzFaultPlanRecovery FuzzParsePlan
 FUZZTIME ?= 10s
@@ -50,7 +50,7 @@ fuzz-smoke:
 		$(GO) test -run=NONE -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) ./internal/fault/ || exit 1; \
 	done
 
-ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke jit-equiv-smoke smp-race smp-bench-smoke fleet-smoke
+ci: vet fmt-check race examples-smoke fuzz-smoke bench-smoke bench-json benchdiff-smoke jit-equiv-smoke jit-param-smoke smp-race smp-bench-smoke fleet-smoke
 
 # Fleet orchestrator gate: a small sweep across 2 worker processes with
 # a crash injected mid-sweep (worker 0 dies holding its 2nd cell, is
@@ -92,6 +92,14 @@ jit-equiv-smoke:
 		rm -f .fig2-jit-on.tmp .fig2-jit-off.tmp; \
 		echo "fig2 differs jit-on vs jit-off"; exit 1; \
 	fi
+
+# Parameterized-replay gate: one interrupt-storm cell under the race
+# detector where jit-on parallel, jit-on sequential, and jit-off runs
+# must be byte-identical (TestSMPShardedJITMatchesInterpreted), and a
+# re-arming storm must replay round 1's super-op on every later round
+# instead of minting single-use variants (TestSMPStormRoundsReplay).
+jit-param-smoke:
+	$(GO) test -race ./internal/kvm -run 'TestSMPShardedJITMatchesInterpreted|TestSMPStormRoundsReplay'
 
 # Go benchmarks for the simulator's own speed (not the paper's numbers):
 # memory/TLB fast paths, the trap hot path, the trace collector, and the

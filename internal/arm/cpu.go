@@ -54,6 +54,12 @@ type CPU struct {
 	// NV2 is the NEVE engine (package core); nil models a CPU without
 	// FEAT_NV2 regardless of Feat.NV2.
 	NV2 NV2Engine
+	// NV2Pages resolves a deferred access page base address to the tracked
+	// register store backing it, or nil for a page that only exists as raw
+	// memory. The machine model binds it to the hypervisor's page registry;
+	// the NEVE engine consults it on every deferred access so page traffic
+	// stays inside the trace-JIT replay guard instead of poisoning it.
+	NV2Pages func(base mem.Addr) RegStore
 	// Bus claims device physical addresses.
 	Bus PhysBus
 	// S2 is the stage-2 MMU context.
@@ -119,6 +125,7 @@ type CPU struct {
 	jit       *jit.Engine
 	jitPoison func()
 	regsTap   *jit.FileTap
+	regsFID   jit.FileID
 
 	// jitPoisonShared, when non-nil, additionally poisons recordings that
 	// READ machine-shared state (distributor enable bits, another vCPU's
@@ -263,6 +270,14 @@ func (c *CPU) SetReg(r SysReg, v uint64) {
 	c.regsTap.Write(int(i))
 	c.regs[i] = v
 }
+
+// RegRaw reads register storage without notifying the JIT read-set tap:
+// no value guard is recorded, so a super-op replays for any live value of
+// r. Only for reads whose value provably cannot influence the recorded
+// sequence (a compare value on a disabled timer line) or whose influence a
+// replay predicate re-validates against live state (JITPred); every other
+// model read uses Reg.
+func (c *CPU) RegRaw(r SysReg) uint64 { return c.regs[StorageReg(r)] }
 
 // HCR returns the live HCR_EL2 value (trap routing consults it constantly).
 func (c *CPU) HCR() uint64 { return c.hcrRead() }

@@ -84,14 +84,20 @@ func (c *CPU) SaveSeq(seq *CtxSeq, store *[NumSysRegs]uint64) {
 	for i, r := range seq.regs {
 		eff := effEL2[b][r]
 		c.cycles += c.Cost.SysReg
-		if rec != nil {
-			rec.FileWrite(fid, int(seq.slots[i]))
-		}
 		if c.devMask[eff] {
+			if rec != nil {
+				rec.FileWrite(fid, int(seq.slots[i]))
+			}
 			store[seq.slots[i]] = c.raw(eff, false, 0)
 			continue
 		}
-		c.regsTap.Read(int(eff))
+		if rec != nil {
+			// A pure storage move: declared as a copy, so the recording
+			// emits a parameter slot instead of value-guarding the source —
+			// the promoted super-op replays the save for any live register
+			// value (see jit.Engine.FileCopy).
+			rec.FileCopy(c.regsFID, int(eff), fid, int(seq.slots[i]), 0)
+		}
 		store[seq.slots[i]] = c.regs[eff]
 	}
 }
@@ -115,14 +121,18 @@ func (c *CPU) LoadSeq(seq *CtxSeq, store *[NumSysRegs]uint64) {
 	for i, r := range seq.regs {
 		eff := effEL2[b][r]
 		c.cycles += c.Cost.SysReg
-		if rec != nil {
-			rec.FileRead(fid, int(seq.slots[i]))
-		}
 		if c.devMask[eff] {
+			// Device-claimed register: the write may branch on the value
+			// (timer re-evaluation), so the slot read stays a value guard.
+			if rec != nil {
+				rec.FileRead(fid, int(seq.slots[i]))
+			}
 			c.raw(eff, true, store[seq.slots[i]])
 			continue
 		}
-		c.regsTap.Write(int(eff))
+		if rec != nil {
+			rec.FileCopy(fid, int(seq.slots[i]), c.regsFID, int(eff), 0)
+		}
 		c.regs[eff] = store[seq.slots[i]]
 	}
 }

@@ -110,6 +110,18 @@ type NV2Engine interface {
 	Access(c *CPU, r SysReg, write bool, val *uint64) NV2Outcome
 }
 
+// RegStore is a saved system-register store the NEVE engine can address in
+// place of raw memory: the hypervisor registers one per deferred access
+// page (see CPU.NV2Pages), turning the architecturally memory-backed page
+// into tracked software state. Hypervisor models implement it with the
+// same tracked context type used for every other saved register file, so
+// deferred accesses report reads and writes to an installed trace-JIT
+// engine instead of poisoning recordings the way raw memory traffic does.
+type RegStore interface {
+	Get(r SysReg) uint64
+	Set(r SysReg, v uint64)
+}
+
 // UndefError models an Undefined Instruction exception delivered to EL1:
 // what happens when an unmodified hypervisor executes an EL2 instruction at
 // EL1 on hardware without nested virtualization support — "likely leading

@@ -23,10 +23,42 @@ func (c *CPU) SetJIT(j *jit.Engine) {
 			id = j.RegisterFile(c.regs[:])
 		}
 		c.regsTap = j.Tap(id)
+		c.regsFID = id
 	} else {
 		c.jitPoison = nil
 		c.regsTap = nil
+		c.regsFID = 0
 	}
+}
+
+// JITRecording reports whether a JIT capture is in flight on this core's
+// engine; machine code consults it before choosing the parameterized
+// (raw-read plus predicate) path over plain guarded reads.
+func (c *CPU) JITRecording() bool { return c.jit != nil && c.jit.Recording() }
+
+// JITWritten reports whether the active recording has written register r.
+// A register the recorded sequence itself wrote holds a recorder-computed
+// value, so predicate-based parameterization must not cover it (the
+// predicate evaluates before the replay commits its writes).
+func (c *CPU) JITWritten(r SysReg) bool {
+	if c.jit == nil {
+		return false
+	}
+	return c.jit.FileWritten(c.regsFID, int(StorageReg(r)))
+}
+
+// JITPred registers a replay predicate for the active recording; covers
+// names the registers whose influence the predicate re-validates (read
+// with RegRaw during the recording). No-op outside a recording.
+func (c *CPU) JITPred(p jit.Pred, covers ...SysReg) {
+	if c.jit == nil || !c.jit.Recording() {
+		return
+	}
+	refs := make([]jit.FileRef, len(covers))
+	for i, r := range covers {
+		refs[i] = jit.FileRef{F: c.regsFID, Idx: int32(StorageReg(r))}
+	}
+	c.jit.LogPred(p, refs...)
 }
 
 // JITPoison marks the active JIT recording, if any, non-promotable. Model

@@ -161,6 +161,20 @@ func VNCROffset(r arm.SysReg) int {
 	return rules[r].VNCROffset
 }
 
+// RegAtOffset is the inverse of VNCROffset: the register stored at a
+// deferred-access-page offset. The layout is dense, so every 8-byte slot
+// below PageBytes() names a register; ok is false outside it. Fault
+// injection uses this to corrupt a drawn page slot through the page's
+// backing store rather than raw memory.
+func RegAtOffset(off int) (arm.SysReg, bool) {
+	for _, r := range ordered {
+		if rules[r].VNCROffset == off {
+			return r, true
+		}
+	}
+	return arm.RegInvalid, false
+}
+
 func addRule(r arm.SysReg, class Class, t Treatment, redirect arm.SysReg, inPage bool) {
 	if rules[r].Reg != arm.RegInvalid {
 		panic("core: duplicate NEVE rule for " + r.String())

@@ -53,7 +53,7 @@ func (e Engine) Access(c *arm.CPU, r arm.SysReg, write bool, val *uint64) arm.NV
 		// (Table 4). The guest hypervisor's virtual HCR_EL2 is itself
 		// stored in the deferred access page, so the hardware can read its
 		// E2H bit there to pick the behavior.
-		vhcr := c.Mem.MustRead64(Page{Base: BAddr(vncr)}.Slot(arm.HCR_EL2))
+		vhcr := peekVHCR(c, vncr)
 		if vhcr&arm.HCRE2H != 0 {
 			if e.DisableRedirect {
 				return arm.NV2Trap
@@ -69,11 +69,43 @@ func (e Engine) Access(c *arm.CPU, r arm.SysReg, write bool, val *uint64) arm.NV
 	}
 }
 
+// peekVHCR reads the virtual HCR_EL2 slot of the active deferred access
+// page: through the registered tracked store when the hypervisor installed
+// one (the read reports to the trace-JIT tap like any other saved-context
+// access), falling back to raw memory otherwise. The peek models the
+// hardware's internal slot fetch and carries no extra cycle charge — the
+// access it steers pays the usual cost.
+func peekVHCR(c *arm.CPU, vncr uint64) uint64 {
+	base := BAddr(vncr)
+	if c.NV2Pages != nil {
+		if st := c.NV2Pages(base); st != nil {
+			return st.Get(arm.HCR_EL2)
+		}
+	}
+	return c.Mem.MustRead64(Page{Base: base}.Slot(arm.HCR_EL2))
+}
+
 func pageAccess(c *arm.CPU, rule Rule, write bool, val *uint64) arm.NV2Outcome {
-	// The deferred access page lives in memory, which is outside the
+	base := BAddr(c.Reg(arm.VNCR_EL2))
+	if c.NV2Pages != nil {
+		if st := c.NV2Pages(base); st != nil {
+			// The page is backed by a registered tracked store: the access
+			// reports its read/write set to the trace-JIT engine through the
+			// store's tap, so deferred traffic is replayable instead of a
+			// poison source.
+			if write {
+				st.Set(rule.Reg, *val)
+			} else {
+				*val = st.Get(rule.Reg)
+			}
+			c.AddCycles(c.Cost.SysRegVNCR)
+			return arm.NV2Memory
+		}
+	}
+	// An unregistered page lives only in raw memory, which is outside the
 	// trace-JIT replay guard: poison any active recording.
 	c.JITPoison()
-	addr := Page{Base: BAddr(c.Reg(arm.VNCR_EL2))}.Slot(rule.Reg)
+	addr := Page{Base: base}.Slot(rule.Reg)
 	if write {
 		c.Mem.MustWrite64(addr, *val)
 	} else {

@@ -43,21 +43,24 @@ func runScript(t *testing.T, name string, data []byte) scriptResult {
 	spec := platform.MustLookup(name)
 	spec.MaxTraps = 500_000
 	spec.MaxSteps = 50_000_000
-	return runScriptSpec(t, spec, data)
+	return runScriptSpec(t, spec, data, nil)
 }
 
 // runScriptJIT is runScript with the trace-JIT layer explicitly on or
 // off and no watchdog budgets: budgets install trap hooks, which disable
 // the JIT at the trap site. Safe without a backstop — fuzz inputs are
-// capped at 128 operations, each of bounded work.
-func runScriptJIT(t *testing.T, name string, data []byte, jitOff bool) scriptResult {
+// capped at 128 operations, each of bounded work. mid, when non-nil, is
+// fired once halfway through the program — the point where warmed-up
+// super-ops (parameterized ones included) are replaying — so the jit-on
+// and jit-off runs see the identical perturbation at the identical point.
+func runScriptJIT(t *testing.T, name string, data []byte, jitOff bool, mid func(s *kvm.Stack)) scriptResult {
 	t.Helper()
 	spec := platform.MustLookup(name)
 	spec.JITOff = jitOff
-	return runScriptSpec(t, spec, data)
+	return runScriptSpec(t, spec, data, mid)
 }
 
-func runScriptSpec(t *testing.T, spec platform.Spec, data []byte) scriptResult {
+func runScriptSpec(t *testing.T, spec platform.Spec, data []byte, mid func(s *kvm.Stack)) scriptResult {
 	t.Helper()
 	p := platform.MustBuild(spec)
 	var res scriptResult
@@ -67,6 +70,10 @@ func runScriptSpec(t *testing.T, spec platform.Spec, data []byte) scriptResult {
 		g.OnIRQ(func(int) { irqs++ })
 		virtioUp := false
 		for i := 0; i+1 < len(data); i += 2 {
+			if mid != nil && 2*i >= len(data) {
+				mid(p.ARM())
+				mid = nil
+			}
 			op, arg := data[i], uint64(data[i+1])
 			switch op % 8 {
 			case 0:
@@ -122,6 +129,10 @@ func FuzzDifferentialNVvsNEVE(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 1, 2, 0, 3, 7, 4, 9, 1, 5, 7, 0, 6, 0, 5, 8})
 	f.Add([]byte{2, 0, 2, 0, 2, 0, 3, 0xff, 3, 0x80, 4, 1, 4, 2})
+	// One seed per fault kind (data[0] selects), each with enough leading
+	// traps to promote super-ops before the kind fires at the midpoint.
+	f.Add([]byte{1, 0, 2, 0, 2, 0, 3, 1, 3, 2, 3, 3, 2, 0, 2, 0, 5, 4, 6, 0})
+	f.Add([]byte{3, 0, 2, 0, 3, 5, 2, 0, 3, 6, 2, 0, 3, 7, 6, 0, 5, 8, 2, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 256 {
 			data = data[:256] // bound per-input runtime, not coverage
@@ -145,19 +156,35 @@ func FuzzDifferentialNVvsNEVE(f *testing.F) {
 		// Trace-JIT oracle: the same input with super-ops replaying and
 		// with every trap interpreted must agree in all observables and
 		// trap counts. v8.3 is the heavy promoter; neve exercises the
-		// record/poison machinery (its world switch touches the deferred
-		// access page in RAM, so recordings rarely promote).
+		// record/poison machinery and the tracked deferred-access-page
+		// stores. A fault kind drawn from the input fires halfway through
+		// the program — mid-replay, parameterized super-ops included — and
+		// must perturb both runs identically: a perturbed walked or tracked
+		// word bails the super-op to the interpreter, never replays stale
+		// state.
+		kinds := fault.AllKinds()
+		var kind fault.Kind
+		var seed uint64
+		if len(data) > 0 {
+			kind = kinds[int(data[0])%len(kinds)]
+			seed = 0xfa220 + uint64(data[0])
+		}
+		mid := func(s *kvm.Stack) {
+			if len(data) > 0 {
+				applyFault(s, kind, fault.NewRand(seed))
+			}
+		}
 		for _, name := range []string{"v8.3", "neve"} {
-			jon := runScriptJIT(t, name, data, false)
-			joff := runScriptJIT(t, name, data, true)
+			jon := runScriptJIT(t, name, data, false, mid)
+			joff := runScriptJIT(t, name, data, true, mid)
 			if jon.err != nil || joff.err != nil {
 				t.Fatalf("%s jit oracle died: on=%v off=%v", name, jon.err, joff.err)
 			}
 			if !reflect.DeepEqual(jon.obs, joff.obs) {
-				t.Fatalf("%s diverged jit-on vs jit-off:\n%v\nvs\n%v", name, jon.obs, joff.obs)
+				t.Fatalf("%s diverged jit-on vs jit-off (fault %v mid-run):\n%v\nvs\n%v", name, kind, jon.obs, joff.obs)
 			}
 			if jon.traps != joff.traps {
-				t.Fatalf("%s trap counts diverged jit-on vs jit-off: %d vs %d", name, jon.traps, joff.traps)
+				t.Fatalf("%s trap counts diverged jit-on vs jit-off (fault %v mid-run): %d vs %d", name, kind, jon.traps, joff.traps)
 			}
 		}
 	})

@@ -49,9 +49,13 @@ func applyFault(s *kvm.Stack, k fault.Kind, r *fault.Rand) bool {
 			return false
 		}
 		v := owners[r.Intn(len(owners))]
-		slot := v.Page.Base + mem.Addr(8*r.Intn(core.PageBytes()/8))
-		old := s.M.Mem.MustRead64(slot)
-		s.M.Mem.MustWrite64(slot, old^uint64(1)<<r.Intn(64))
+		off := 8 * r.Intn(core.PageBytes()/8)
+		bit := r.Intn(64)
+		reg, ok := core.RegAtOffset(off)
+		if !ok {
+			return false
+		}
+		v.PageCtx.Set(reg, v.PageCtx.Get(reg)^uint64(1)<<bit)
 		return true
 	case fault.PageFlip:
 		vm := s.VM
@@ -93,10 +97,12 @@ func faultParityRun(t *testing.T, name string, jitOff bool, k fault.Kind) (sig s
 		phase := func(n, base int) {
 			for i := 0; i < n; i++ {
 				g.Hypercall()
-				// Cycle the written value over a small set: guards pin the
-				// values a recording saw, so a never-recurring value would
-				// fill the per-cause variant chains and starve replay.
-				kg.CPU.MSR(arm.TPIDR_EL1, uint64(base+i%2))
+				// A monotonic, never-recurring value: the world switch moves
+				// it through the saved contexts as a parameter slot, so the
+				// fault fires while parameterized super-ops are replaying.
+				// (Before parameter slots this value would have filled the
+				// per-cause variant chains and starved replay outright.)
+				kg.CPU.MSR(arm.TPIDR_EL1, uint64(base+i))
 				obs = append(obs, kg.CPU.Reg(arm.TPIDR_EL1))
 				obs = append(obs, g.DeviceRead(uint64(i%4)*8))
 				g.Work(500)

@@ -471,6 +471,275 @@ func TestReplayHitNoAlloc(t *testing.T) {
 	}
 }
 
+// TestParamMoveReplays pins the parameter-slot contract: a declared copy
+// (CopyWord) promotes to a replayed move instead of a value guard, so the
+// same super-op hits for any live source value and writes the live value,
+// not the recorded one.
+func TestParamMoveReplays(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	handler := func() uint64 {
+		CopyWord(m.tap, 2, m.tap, 8)
+		m.file[8] = m.file[2]
+		return 0
+	}
+	m.file[2] = 100
+	m.trap(20, handler) // Record
+	m.file[2] = 200
+	if _, st := m.trap(20, handler); st != Hit {
+		t.Fatalf("parameterized replay did not hit on a changed source (status %v)", st)
+	}
+	if m.file[8] != 200 {
+		t.Fatalf("replay wrote file[8]=%d, want the live source value 200", m.file[8])
+	}
+	if causes, ops := m.eng.Entries(); causes != 1 || ops != 1 {
+		t.Fatalf("changed source grew the chain: %d causes, %d ops", causes, ops)
+	}
+}
+
+// TestParamMoveImmChain pins derived forms and transitive resolution: a
+// copy with an immediate, and a copy whose source is itself move-derived,
+// both resolve to the external origin with immediates summed.
+func TestParamMoveImmChain(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	fid := m.eng.FileByBase(&m.file[0])
+	handler := func() uint64 {
+		m.file[8] = m.file[2] + 5
+		m.eng.FileCopy(fid, 2, fid, 8, 5)
+		m.file[9] = m.file[8] + 7
+		m.eng.FileCopy(fid, 8, fid, 9, 7)
+		return 0
+	}
+	m.file[2] = 10
+	m.trap(21, handler) // Record
+	m.file[2] = 1000
+	if _, st := m.trap(21, handler); st != Hit {
+		t.Fatalf("chained-copy replay did not hit on a changed origin")
+	}
+	if m.file[8] != 1005 || m.file[9] != 1012 {
+		t.Fatalf("replay wrote file[8]=%d file[9]=%d, want 1005/1012", m.file[8], m.file[9])
+	}
+}
+
+// TestCopyFromWrittenDegrades: a copy whose source the recording already
+// plain-wrote carries a recorder-computed value, so it degrades to a
+// constant write and replays independent of live state.
+func TestCopyFromWrittenDegrades(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	handler := func() uint64 {
+		m.file[2] = 42
+		m.tap.Write(2)
+		CopyWord(m.tap, 2, m.tap, 8)
+		m.file[8] = m.file[2]
+		return 0
+	}
+	m.trap(22, handler) // Record
+	m.file[2], m.file[8] = 7, 7
+	if _, st := m.trap(22, handler); st != Hit {
+		t.Fatalf("constant-degraded replay did not hit")
+	}
+	if m.file[2] != 42 || m.file[8] != 42 {
+		t.Fatalf("replay left file[2]=%d file[8]=%d, want the harvested 42/42", m.file[2], m.file[8])
+	}
+}
+
+// TestCopyFromGuardedSource: an observing read before the copy pins the
+// source, so the copy degrades to a constant and the value guard still
+// bails on a changed source.
+func TestCopyFromGuardedSource(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	handler := func() uint64 {
+		m.tap.Read(2)
+		CopyWord(m.tap, 2, m.tap, 8)
+		m.file[8] = m.file[2]
+		return 0
+	}
+	m.file[2] = 5
+	m.trap(23, handler) // Record
+	if _, st := m.trap(23, handler); st != Hit {
+		t.Fatalf("replay at the recorded value did not hit")
+	}
+	m.file[2] = 6
+	if _, st := m.trap(23, handler); st == Hit {
+		t.Fatalf("copy from a value-guarded source replayed over a changed value")
+	}
+}
+
+// TestParamObservedUpgrades pins the upgrade rule: once the sequence
+// observes a parameter — reading the source itself or a word derived from
+// it — the external origin becomes a value guard, and replay bails when
+// the origin moves.
+func TestParamObservedUpgrades(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		readIdx int
+	}{
+		{"read-derived-word", 8},
+		{"read-source-word", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newFake(t, 1, fakeOpts{})
+			handler := func() uint64 {
+				CopyWord(m.tap, 2, m.tap, 8)
+				m.file[8] = m.file[2]
+				m.tap.Read(tc.readIdx)
+				return 0
+			}
+			m.file[2] = 5
+			m.trap(30, handler) // Record
+			m.file[2] = 5
+			if _, st := m.trap(30, handler); st != Hit {
+				t.Fatalf("replay at the recorded origin value did not hit")
+			}
+			m.file[2] = 6
+			if _, st := m.trap(30, handler); st == Hit {
+				t.Fatalf("observed parameter replayed over a changed origin")
+			}
+		})
+	}
+}
+
+// TestCopyWordUntapped pins CopyWord's degradation: with one side untapped
+// the declared copy falls back to a guarding read, which stays sound (the
+// replay bails when the source changes).
+func TestCopyWordUntapped(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	handler := func() uint64 {
+		CopyWord(m.tap, 2, nil, 0)
+		return 0
+	}
+	m.file[2] = 5
+	m.trap(24, handler) // Record
+	m.file[2] = 6
+	if _, st := m.trap(24, handler); st == Hit {
+		t.Fatalf("untapped-destination copy replayed over a changed source")
+	}
+}
+
+// TestPredSlackAndBail pins replay predicates: each predicate re-evaluates
+// against live state with the recording's own cycle advance as slack, a
+// true predicate replays, and a false one bails.
+func TestPredSlackAndBail(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	allow := true
+	var gotSlack uint64
+	handler := func() uint64 {
+		m.eng.LogPred(func(slack uint64) bool {
+			gotSlack = slack
+			return allow
+		}, FileRef{F: m.tap.id, Idx: 3})
+		m.clock.Cycles += 100
+		return 0
+	}
+	m.trap(25, handler) // Record
+	if _, st := m.trap(25, handler); st != Hit {
+		t.Fatalf("pred-true replay did not hit")
+	}
+	if gotSlack != 100 {
+		t.Fatalf("predicate saw slack=%d, want the recorded 100-cycle advance", gotSlack)
+	}
+	allow = false
+	if _, st := m.trap(25, handler); st == Hit {
+		t.Fatalf("pred-false replay hit")
+	}
+	if m.eng.Stats().Bailouts != 1 {
+		t.Fatalf("pred-false replay was not a bailout (stats %+v)", m.eng.Stats())
+	}
+}
+
+// TestPredCoverWrittenPoisons: a predicate covering a word the recording
+// itself wrote would read stale values at replay time, so the recording
+// must not promote.
+func TestPredCoverWrittenPoisons(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	handler := func() uint64 {
+		m.file[3] = 1
+		m.tap.Write(3)
+		m.eng.LogPred(func(uint64) bool { return true }, FileRef{F: m.tap.id, Idx: 3})
+		return 0
+	}
+	m.trap(26, handler)
+	if _, ops := m.eng.Entries(); ops != 0 {
+		t.Fatalf("predicate over a recording-written word was promoted")
+	}
+}
+
+// TestEvictSuperseded pins chain eviction: promoting a parameterized
+// variant drops an older single-value variant it covers, and the surviving
+// variant hits for every source value including the evicted one's.
+func TestEvictSuperseded(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	plain := func() uint64 {
+		m.tap.Read(2)
+		m.file[8] = m.file[2]
+		m.tap.Write(8)
+		return 0
+	}
+	param := func() uint64 {
+		CopyWord(m.tap, 2, m.tap, 8)
+		m.file[8] = m.file[2]
+		return 0
+	}
+	m.file[2] = 10
+	m.trap(27, plain) // variant A: value guard file[2]==10
+	m.file[2] = 11
+	if _, st := m.trap(27, param); st != Record {
+		t.Fatalf("changed source did not bail into a new recording")
+	}
+	if ev := m.eng.Stats().Evictions; ev != 1 {
+		t.Fatalf("Evictions=%d, want the stale single-value variant evicted", ev)
+	}
+	if _, ops := m.eng.Entries(); ops != 1 {
+		t.Fatalf("chain holds %d ops, want only the parameterized variant", ops)
+	}
+	for _, v := range []uint64{10, 11, 12} {
+		m.file[2] = v
+		if _, st := m.trap(27, param); st != Hit {
+			t.Fatalf("parameterized variant did not hit at source=%d", v)
+		}
+		if m.file[8] != v {
+			t.Fatalf("replay wrote file[8]=%d, want %d", m.file[8], v)
+		}
+	}
+}
+
+// TestParamReplayNoAlloc extends the 0-alloc gate to the parameterized
+// path: a replay that runs moves and predicates allocates nothing.
+func TestParamReplayNoAlloc(t *testing.T) {
+	m := newFake(t, 1, fakeOpts{})
+	handler := func() uint64 {
+		CopyWord(m.tap, 2, m.tap, 8)
+		m.file[8] = m.file[2]
+		m.eng.LogPred(func(uint64) bool { return true }, FileRef{F: m.tap.id, Idx: 2})
+		m.clock.Cycles += 50
+		return 3
+	}
+	m.file[2] = 1
+	m.trap(28, handler) // Record
+	if _, st := m.trap(28, handler); st != Hit {
+		t.Fatalf("parameterized replay did not hit")
+	}
+	var ew [ExcWords]uint64
+	ew[0] = 28
+	src := uint64(1)
+	failed := false
+	avg := testing.AllocsPerRun(200, func() {
+		src++
+		m.file[2] = src
+		if _, st := m.eng.Dispatch(0, &ew); st != Hit {
+			failed = true
+		}
+	})
+	if failed {
+		t.Fatalf("dispatch stopped hitting under AllocsPerRun")
+	}
+	if avg != 0 {
+		t.Fatalf("parameterized replay path allocates (%v allocs/run)", avg)
+	}
+	if m.file[8] != src {
+		t.Fatalf("last replay wrote file[8]=%d, want %d", m.file[8], src)
+	}
+}
+
 // TestMoveToFront pins the chain policy: after a variant further down the
 // chain hits, it is consulted first on the next dispatch. Observable via
 // probe-call counts: only the front variant's probes are checked before a

@@ -58,6 +58,7 @@ type vcpuCheckpoint struct {
 	el1          Context
 	vel2         Context
 	virtEL1      Context
+	pageCtx      Context
 	inVEL2       bool
 	pendingVIRQ  []int
 	pendingEntry *arm.Exception
@@ -160,6 +161,7 @@ func checkpointVCPU(v *VCPU) vcpuCheckpoint {
 		el1:      v.EL1,
 		vel2:     v.VEL2,
 		virtEL1:  v.VirtEL1,
+		pageCtx:  v.PageCtx,
 		inVEL2:   v.InVEL2,
 		dirtyLRs: v.dirtyLRs,
 		x0:       v.x0,
@@ -311,6 +313,7 @@ func restoreVCPU(v *VCPU, cp *vcpuCheckpoint) {
 	v.EL1 = cp.el1
 	v.VEL2 = cp.vel2
 	v.VirtEL1 = cp.virtEL1
+	v.PageCtx = cp.pageCtx
 	v.InVEL2 = cp.inVEL2
 	v.pendingVIRQ = append(v.pendingVIRQ[:0], cp.pendingVIRQ...)
 	if cp.pendingEntry == nil {

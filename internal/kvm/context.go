@@ -28,6 +28,11 @@ type Context struct {
 	jt *jit.FileTap
 }
 
+// A Context doubles as the tracked backing store of a NEVE deferred access
+// page (VCPU.PageCtx): the engine's rewritten accesses go through Get/Set
+// like every other saved-register funnel.
+var _ arm.RegStore = (*Context)(nil)
+
 // Get reads a saved register (alias encodings resolve to their target).
 func (ctx *Context) Get(r arm.SysReg) uint64 {
 	i := arm.StorageReg(r)
@@ -40,6 +45,17 @@ func (ctx *Context) Set(r arm.SysReg, v uint64) {
 	i := arm.StorageReg(r)
 	ctx.jt.Write(int(i))
 	ctx.regs[i] = v
+}
+
+// copyFrom moves one saved register from src slot sr into dst slot dr,
+// declaring the move to any installed trace-JIT engine: a recording emits a
+// parameter slot (jit.CopyWord) instead of value-guarding the source, so
+// the world-switch bookkeeping loops stay replayable across rounds whose
+// live register values differ.
+func (ctx *Context) copyFrom(src *Context, dr, sr arm.SysReg) {
+	di, si := arm.StorageReg(dr), arm.StorageReg(sr)
+	jit.CopyWord(src.jt, int(si), ctx.jt, int(di))
+	ctx.regs[di] = src.regs[si]
 }
 
 // file exposes the raw register file for bulk sequence transfers

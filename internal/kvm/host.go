@@ -333,7 +333,8 @@ func (h *Hypervisor) emulateVEL2SysReg(c *arm.CPU, v *VCPU, e *arm.Exception) ui
 		// guest hypervisor's deferred reads see the new value
 		// (Section 6.1, "Trap on write").
 		if rule := core.ResolvedRule(r); rule.VNCROffset >= 0 {
-			c.PhysWrite64(v.Page.Slot(r), e.Val)
+			c.MemOp(1)
+			v.PageCtx.Set(r, e.Val)
 		}
 	}
 	return 0

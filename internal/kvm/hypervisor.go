@@ -211,13 +211,16 @@ func (h *Hypervisor) RunL3GuestOS(lv *VCPU, fn func(g *GuestCtx)) {
 	gh1.loadNestedState(c, nv)
 	lv.VEL2.Set(arm.HCR_EL2, gh1.runHCR(nv, modeNested))
 	lv.VEL2.Set(arm.VTTBR_EL2, gh1.shadowVTTBR(c, nv))
-	lv.VirtEL1 = nnv.EL1
+	// Copy register values only: a whole-Context assignment would also
+	// replace lv.VirtEL1's JIT tap with nnv.EL1's, misattributing every
+	// later tracked access.
+	lv.VirtEL1.regs = nnv.EL1.regs
 	if lv.Page.Base != 0 {
 		for _, r := range vncrEL1Regs {
-			h.M.Mem.MustWrite64(lv.Page.Slot(r), lv.VirtEL1.Get(r))
+			lv.PageCtx.Set(r, lv.VirtEL1.Get(r))
 		}
 		for _, r := range vncrEL2Regs {
-			h.M.Mem.MustWrite64(lv.Page.Slot(r), lv.VEL2.Get(r))
+			lv.PageCtx.Set(r, lv.VEL2.Get(r))
 		}
 	}
 	h.loadNestedState(c, lv)
@@ -330,21 +333,25 @@ func (h *Hypervisor) AttachGuestHypervisor(vm *VM, gh *Hypervisor) *VM {
 				panic("kvm: deferred access page outside RAM")
 			}
 			v.Page = core.Page{Base: machineAddr}
+			// The allocated page reserves the address space VNCR_EL2 points
+			// at; the contents live in the tracked store so deferred accesses
+			// stay inside the trace-JIT replay guard.
+			h.M.RegisterNV2Page(machineAddr, &v.PageCtx)
 		}
 		// The guest hypervisor's boot programmed its VM's Stage-2 root.
 		v.VEL2.Set(arm.VTTBR_EL2, gh.vmVTTBR(nvm))
 		// Nested VM vCPU contexts start from the guest hypervisor's
 		// defaults; the virtual EL1 store begins as a copy.
 		nv := nvm.VCPUs[v.ID]
-		v.VirtEL1 = nv.EL1
+		v.VirtEL1.regs = nv.EL1.regs
 		if v.Page.Base != 0 {
 			// "The host hypervisor populates the deferred access page with
 			// initial values of the registers" (Section 6.1).
 			for _, r := range vncrEL1Regs {
-				h.M.Mem.MustWrite64(v.Page.Slot(r), v.VirtEL1.Get(r))
+				v.PageCtx.Set(r, v.VirtEL1.Get(r))
 			}
 			for _, r := range vncrEL2Regs {
-				h.M.Mem.MustWrite64(v.Page.Slot(r), v.VEL2.Get(r))
+				v.PageCtx.Set(r, v.VEL2.Get(r))
 			}
 		}
 	}

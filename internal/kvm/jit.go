@@ -23,7 +23,9 @@ import (
 //   - Virtio ring cursors (Echo and Driver): every path that reads or
 //     advances them moves ring data through memory first, which poisons.
 //   - Timer state: enabled-line evaluation and counter reads poison.
-//   - NEVE deferred access pages: core.pageAccess poisons.
+//   - NEVE deferred access pages: registered pages resolve to the vCPU's
+//     tracked PageCtx store (read/write-set tracked like any Context);
+//     only the unregistered-page fallback in core.pageAccess poisons.
 //   - Cycle accounting: expressed as ClockDeltas, not walked.
 //   - Saved register contexts (Context): tracked by read/write set
 //     through jit.FileTap instead of walked — see InstallJIT.
@@ -186,7 +188,7 @@ func (src *stackSource) walkVM(w *jit.W, vm *VM) {
 // word it visits is private to the vCPU, so a shard may Word (and restore)
 // it without racing sibling segments.
 func walkVCPU(w *jit.W, v *VCPU) {
-	if v.EL1.jt == nil || v.VEL2.jt == nil || v.VirtEL1.jt == nil {
+	if v.EL1.jt == nil || v.VEL2.jt == nil || v.VirtEL1.jt == nil || v.PageCtx.jt == nil {
 		w.Fail()
 		return
 	}
@@ -306,6 +308,7 @@ func (s *Stack) InstallJIT(threshold int) {
 				track(&v.EL1)
 				track(&v.VEL2)
 				track(&v.VirtEL1)
+				track(&v.PageCtx)
 			}
 		}
 	}

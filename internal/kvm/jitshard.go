@@ -252,6 +252,7 @@ func (s *Stack) shardCtxs(i int, fn func(ctx *Context)) {
 				fn(&v.EL1)
 				fn(&v.VEL2)
 				fn(&v.VirtEL1)
+				fn(&v.PageCtx)
 			}
 		}
 	}

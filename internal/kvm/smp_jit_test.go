@@ -107,9 +107,10 @@ func TestSMPShardedJITMatchesInterpreted(t *testing.T) {
 
 // smpSteadyStorm arms each vCPU's timer once, lets it fire, then hammers
 // IPIs and hypercalls. After the single deadline the timer line sits in
-// its steady (expired, fired, IStat-set) state, which stays recordable —
-// a perpetually re-arming storm instead produces single-use super-ops,
-// because every world switch guards the fresh compare value.
+// its steady (expired, fired, IStat-set) state — the simplest recordable
+// shape, with no fresh compare value in flight. (A perpetually re-arming
+// storm is also replayable now that compare values ride parameter slots;
+// TestSMPStormRoundsReplay pins that case.)
 func smpSteadyStorm(n, rounds int) []func(g *SMPGuest) {
 	progs := make([]func(g *SMPGuest), n)
 	for i := 0; i < n; i++ {
@@ -147,6 +148,62 @@ func TestSMPShardsEngageAndPersist(t *testing.T) {
 	second := s.SMPJITStats()
 	if second.Hits <= first.Hits {
 		t.Fatalf("second run reused nothing: %+v -> %+v", first, second)
+	}
+}
+
+// smpShardOps sums compiled super-op counts across a stack's shard
+// engines.
+func smpShardOps(s *Stack) int {
+	ops := 0
+	for _, sh := range s.smpShards {
+		_, n := sh.Entries()
+		ops += n
+	}
+	return ops
+}
+
+// TestSMPStormRoundsReplay pins the parameterized-replay contract on the
+// re-arming storm: every round arms a fresh absolute timer deadline, so
+// before parameter slots each round's world switch guarded a compare
+// value that never recurred — variants compiled in round 1 could not
+// replay in round 2. Now the compare value moves through a parameter
+// slot, so the super-ops promoted from the first rounds serve every later
+// round: hits must dominate misses after warm-up, and the variant
+// population must stay flat instead of growing with the round count.
+func TestSMPStormRoundsReplay(t *testing.T) {
+	const n = 4
+	s := NewVMStack(StackOptions{CPUs: n})
+	s.InstallJIT(2)
+	opts := SMPOptions{EpochBudget: 2000, Parallel: true}
+
+	// Warm-up: enough rounds for every per-round trap sequence to record
+	// and promote (threshold 2).
+	runSMPStorm(s, n, 3, opts)
+	warm := s.SMPJITStats()
+	warmOps := smpShardOps(s)
+	if warmOps == 0 {
+		t.Fatalf("warm-up promoted nothing: %+v", warm)
+	}
+
+	const rounds = 12
+	runSMPStorm(s, n, rounds, opts)
+	after := s.SMPJITStats()
+	afterOps := smpShardOps(s)
+
+	hits := after.Hits - warm.Hits
+	misses := after.Misses - warm.Misses
+	if hits == 0 {
+		t.Fatalf("no round replayed a warm-up super-op: %+v -> %+v", warm, after)
+	}
+	if hits <= misses {
+		t.Errorf("later rounds mostly missed (%d hits, %d misses): fresh compare values are not riding parameter slots", hits, misses)
+	}
+	// A per-round value guard would mint ~one variant per cause per round
+	// until the chains saturate; parameterized variants are reused, so the
+	// population may only grow by a constant (late-promoting causes), not
+	// with the round count.
+	if grown := afterOps - warmOps; grown >= rounds*n {
+		t.Errorf("variant population grew with the rounds (%d -> %d ops): super-ops are single-use again", warmOps, afterOps)
 	}
 }
 

@@ -60,18 +60,19 @@ var vncrEL1Regs = func() []arm.SysReg {
 // hypervisor" — Section 6.1).
 func (h *Hypervisor) storeVirtEL1(c *arm.CPU, v *VCPU) {
 	for _, r := range el1CtxRegs {
-		v.VirtEL1.Set(r, v.EL1.Get(r))
+		v.VirtEL1.copyFrom(&v.EL1, r, r)
 	}
 	c.MemOp(uint64(len(el1CtxRegs)))
 	if h.neveActive(v.VM) {
 		for _, r := range vncrEL1Regs {
-			c.PhysWrite64(v.Page.Slot(r), v.VirtEL1.Get(r))
+			v.PageCtx.copyFrom(&v.VirtEL1, r, r)
 		}
 		// Refresh the cached copies of the EL2 registers as well, so the
 		// guest hypervisor's deferred reads observe current values.
 		for _, r := range vncrEL2Regs {
-			c.PhysWrite64(v.Page.Slot(r), v.VEL2.Get(r))
+			v.PageCtx.copyFrom(&v.VEL2, r, r)
 		}
+		c.MemOp(uint64(len(vncrEL1Regs) + len(vncrEL2Regs)))
 	}
 }
 
@@ -81,11 +82,12 @@ func (h *Hypervisor) storeVirtEL1(c *arm.CPU, v *VCPU) {
 func (h *Hypervisor) loadVirtEL1(c *arm.CPU, v *VCPU) {
 	if h.neveActive(v.VM) {
 		for _, r := range vncrEL1Regs {
-			v.VirtEL1.Set(r, c.PhysRead64(v.Page.Slot(r)))
+			v.VirtEL1.copyFrom(&v.PageCtx, r, r)
 		}
+		c.MemOp(uint64(len(vncrEL1Regs)))
 	}
 	for _, r := range el1CtxRegs {
-		v.EL1.Set(r, v.VirtEL1.Get(r))
+		v.EL1.copyFrom(&v.VirtEL1, r, r)
 	}
 	c.MemOp(uint64(len(el1CtxRegs)))
 }
@@ -94,12 +96,15 @@ func (h *Hypervisor) loadVirtEL1(c *arm.CPU, v *VCPU) {
 // control registers (virtual HCR_EL2, VTTBR_EL2, ...) out of the page into
 // the virtual EL2 state, where the host's emulation logic consumes them.
 func (h *Hypervisor) syncVEL2FromPage(c *arm.CPU, v *VCPU) {
+	var n uint64
 	for _, r := range vncrEL2Regs {
 		rule := core.RuleFor(r)
 		if rule.Treatment == core.TreatVNCR {
-			v.VEL2.Set(r, c.PhysRead64(v.Page.Slot(r)))
+			v.VEL2.copyFrom(&v.PageCtx, r, r)
+			n++
 		}
 	}
+	c.MemOp(n)
 }
 
 // projectVEL2Env builds the hardware EL1 image of the guest hypervisor's
@@ -109,16 +114,16 @@ func (h *Hypervisor) syncVEL2FromPage(c *arm.CPU, v *VCPU) {
 // would at EL2 (Section 6).
 func (h *Hypervisor) projectVEL2Env(c *arm.CPU, v *VCPU) {
 	for _, rule := range vel2RedirectRules {
-		v.EL1.Set(rule.Redirect, v.VEL2.Get(rule.Reg))
+		v.EL1.copyFrom(&v.VEL2, rule.Redirect, rule.Reg)
 	}
-	v.EL1.Set(arm.SP_EL1, v.VEL2.Get(arm.SP_EL2))
+	v.EL1.copyFrom(&v.VEL2, arm.SP_EL1, arm.SP_EL2)
 	// VHE guest hypervisors own TCR/TTBR0/TTBR1/CONTEXTIDR via redirection
 	// as well (Table 4, "Redirect or trap" and "(VHE)").
 	if v.VM.GuestHyp.Cfg.VHE {
-		v.EL1.Set(arm.TCR_EL1, v.VEL2.Get(arm.TCR_EL2))
-		v.EL1.Set(arm.TTBR0_EL1, v.VEL2.Get(arm.TTBR0_EL2))
-		v.EL1.Set(arm.TTBR1_EL1, v.VEL2.Get(arm.TTBR1_EL2))
-		v.EL1.Set(arm.CONTEXTIDR_EL1, v.VEL2.Get(arm.CONTEXTIDR_EL2))
+		v.EL1.copyFrom(&v.VEL2, arm.TCR_EL1, arm.TCR_EL2)
+		v.EL1.copyFrom(&v.VEL2, arm.TTBR0_EL1, arm.TTBR0_EL2)
+		v.EL1.copyFrom(&v.VEL2, arm.TTBR1_EL1, arm.TTBR1_EL2)
+		v.EL1.copyFrom(&v.VEL2, arm.CONTEXTIDR_EL1, arm.CONTEXTIDR_EL2)
 	}
 	c.MemOp(uint64(len(vel2RedirectRules) + 5))
 	v.InVEL2 = true
@@ -134,9 +139,9 @@ func (h *Hypervisor) projectVEL2Back(c *arm.CPU, v *VCPU) {
 		return
 	}
 	for _, rule := range vel2RedirectRules {
-		v.VEL2.Set(rule.Reg, v.EL1.Get(rule.Redirect))
+		v.VEL2.copyFrom(&v.EL1, rule.Reg, rule.Redirect)
 	}
-	v.VEL2.Set(arm.SP_EL2, v.EL1.Get(arm.SP_EL1))
+	v.VEL2.copyFrom(&v.EL1, arm.SP_EL2, arm.SP_EL1)
 	c.MemOp(uint64(len(vel2RedirectRules) + 1))
 	v.InVEL2 = false
 }

@@ -86,11 +86,18 @@ type VCPU struct {
 	VirtEL1 Context
 
 	// Page is the NEVE deferred access page assigned to this vCPU, as a
-	// machine-memory view for direct access by the model; PageAddr is the
-	// same page in the managing hypervisor's own address space (what it
-	// programs into VNCR_EL2).
+	// machine-memory view; PageAddr is the same page in the managing
+	// hypervisor's own address space (what it programs into VNCR_EL2).
 	Page     core.Page
 	PageAddr mem.Addr
+
+	// PageCtx is the tracked backing store of the deferred access page:
+	// registered with the machine's NV2 page registry under Page.Base, so
+	// the NEVE engine's rewritten accesses and the host's page bookkeeping
+	// both go through a JIT-tapped register file instead of raw memory (the
+	// allocated page remains as address space only). Slots are indexed by
+	// register, like every other saved context.
+	PageCtx Context
 
 	// pendingVIRQ is the software-pending virtual interrupt queue of the
 	// managing hypervisor's virtual distributor.

@@ -189,6 +189,7 @@ func encodeVCPU(w *wire.Writer, cp *vcpuCheckpoint) {
 	encodeCtx(w, &cp.el1)
 	encodeCtx(w, &cp.vel2)
 	encodeCtx(w, &cp.virtEL1)
+	encodeCtx(w, &cp.pageCtx)
 	w.Bool(cp.inVEL2)
 	w.Len(len(cp.pendingVIRQ))
 	for _, irq := range cp.pendingVIRQ {
@@ -338,6 +339,7 @@ func decodeVCPU(r *wire.Reader, v *VCPU) vcpuCheckpoint {
 	cp.el1 = decodeCtx(r, v.EL1)
 	cp.vel2 = decodeCtx(r, v.VEL2)
 	cp.virtEL1 = decodeCtx(r, v.VirtEL1)
+	cp.pageCtx = decodeCtx(r, v.PageCtx)
 	cp.inVEL2 = r.Bool()
 	n := r.Len()
 	for i := 0; i < n && r.Err() == nil; i++ {

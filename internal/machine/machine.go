@@ -97,7 +97,25 @@ type Machine struct {
 	Bus    *Bus
 	UART   *UART
 	Trace  *trace.Collector
+
+	// nv2Pages maps a deferred access page base address (machine-physical,
+	// as programmed into VNCR_EL2) to the tracked register store the
+	// hypervisor registered for it. Every CPU's NV2Pages hook resolves
+	// through it, so a page registered once is visible machine-wide.
+	nv2Pages map[mem.Addr]arm.RegStore
 }
+
+// RegisterNV2Page registers st as the tracked backing store of the deferred
+// access page at base. The hypervisor calls it when it allocates a page;
+// deferred accesses to an unregistered base fall back to raw memory.
+func (m *Machine) RegisterNV2Page(base mem.Addr, st arm.RegStore) {
+	if m.nv2Pages == nil {
+		m.nv2Pages = make(map[mem.Addr]arm.RegStore)
+	}
+	m.nv2Pages[base] = st
+}
+
+func (m *Machine) nv2PageAt(base mem.Addr) arm.RegStore { return m.nv2Pages[base] }
 
 // New builds and wires a machine.
 func New(cfg Config) *Machine {
@@ -120,6 +138,7 @@ func New(cfg Config) *Machine {
 		c.Trace = m.Trace
 		c.Bus = m.Bus
 		c.S2 = m.S2
+		c.NV2Pages = m.nv2PageAt
 		if cfg.Feat.NV2 {
 			// The CPU implements NEVE (ARMv8.4 FEAT_NV2).
 			engine := core.Engine{}

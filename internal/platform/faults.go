@@ -113,6 +113,9 @@ func (e *armEnv) SpuriousIRQ(r *fault.Rand) (string, bool) {
 // CorruptVNCR flips one bit in a random used slot of a NEVE deferred
 // access page: the memory the guest hypervisor's register state lives in
 // under FEAT_NV2, and therefore the paper's most safety-critical page.
+// The corruption goes through the page's tracked backing store (the
+// authoritative copy the engine's rewritten accesses read), not the RAM
+// placeholder, so it lands exactly where the deferred accesses look.
 func (e *armEnv) CorruptVNCR(r *fault.Rand) (string, bool) {
 	var owners []*kvm.VCPU
 	for _, vm := range []*kvm.VM{e.s.VM, e.s.NestedVM, e.s.L3VM} {
@@ -129,11 +132,14 @@ func (e *armEnv) CorruptVNCR(r *fault.Rand) (string, bool) {
 		return "", false // not a NEVE stack
 	}
 	v := owners[r.Intn(len(owners))]
-	slot := v.Page.Base + mem.Addr(8*r.Intn(core.PageBytes()/8))
+	off := 8 * r.Intn(core.PageBytes()/8)
 	bit := r.Intn(64)
-	old := e.s.M.Mem.MustRead64(slot)
-	e.s.M.Mem.MustWrite64(slot, old^uint64(1)<<bit)
-	return fmt.Sprintf("VNCR corrupt: %s page slot %#x bit %d", v, uint64(slot), bit), true
+	reg, ok := core.RegAtOffset(off)
+	if !ok {
+		return "", false
+	}
+	v.PageCtx.Set(reg, v.PageCtx.Get(reg)^uint64(1)<<bit)
+	return fmt.Sprintf("VNCR corrupt: %s page slot %#x (%s) bit %d", v, uint64(v.Page.Base)+uint64(off), reg, bit), true
 }
 
 // FlipGuestBit flips one bit anywhere in the L1 VM's RAM — guest data,

@@ -7,25 +7,28 @@ package trace
 // application. The diff is computed only while promoting a recording — the
 // replay hit path applies a precomputed delta and allocates nothing.
 
-// JITStats counts super-op dispatch outcomes. Exactly one field increments
-// per dispatched trap: Hits (a super-op replayed), Misses (no super-op for
-// the trap cause yet), or Bailouts (a super-op existed but its guard did
-// not match and the trap ran interpreted).
+// JITStats counts super-op dispatch outcomes. Exactly one of Hits, Misses,
+// or Bailouts increments per dispatched trap: Hits (a super-op replayed),
+// Misses (no super-op for the trap cause yet), or Bailouts (a super-op
+// existed but its guard did not match and the trap ran interpreted).
+// Evictions counts chain variants dropped because a later parameterized
+// variant covers their states; it is not per-dispatch.
 type JITStats struct {
-	Hits     uint64
-	Misses   uint64
-	Bailouts uint64
+	Hits      uint64
+	Misses    uint64
+	Bailouts  uint64
+	Evictions uint64
 }
 
 // Add returns the field-wise sum (for aggregating per-cell stats).
 func (s JITStats) Add(o JITStats) JITStats {
-	return JITStats{s.Hits + o.Hits, s.Misses + o.Misses, s.Bailouts + o.Bailouts}
+	return JITStats{s.Hits + o.Hits, s.Misses + o.Misses, s.Bailouts + o.Bailouts, s.Evictions + o.Evictions}
 }
 
 // Sub returns the field-wise difference (for per-cell deltas on a reused
 // engine).
 func (s JITStats) Sub(o JITStats) JITStats {
-	return JITStats{s.Hits - o.Hits, s.Misses - o.Misses, s.Bailouts - o.Bailouts}
+	return JITStats{s.Hits - o.Hits, s.Misses - o.Misses, s.Bailouts - o.Bailouts, s.Evictions - o.Evictions}
 }
 
 // BeginCounterLog arms the touched-location log: until the matching
@@ -121,6 +124,27 @@ func (c *Collector) EndCounterLog(d *CounterDelta) bool {
 		}
 		if !merged {
 			d.sparse = append(d.sparse, sparseEntry{k: k, n: 1})
+		}
+	}
+	return true
+}
+
+// Equal reports whether two deltas describe the same counter increments in
+// the same discovery order. The JIT's chain eviction uses it to decide that
+// one super-op variant's counting effect matches another's; a false
+// negative (same multiset, different order) only keeps a variant alive.
+func (d *CounterDelta) Equal(o *CounterDelta) bool {
+	if d.byReason != o.byReason || len(d.dense) != len(o.dense) || len(d.sparse) != len(o.sparse) {
+		return false
+	}
+	for i := range d.dense {
+		if d.dense[i] != o.dense[i] {
+			return false
+		}
+	}
+	for i := range d.sparse {
+		if d.sparse[i] != o.sparse[i] {
+			return false
 		}
 	}
 	return true
